@@ -1,0 +1,143 @@
+// Command cachesim records L1 access traces from full simulations and
+// replays them through the compressed cache alone — fast trace-driven
+// cache-policy studies.
+//
+// Usage:
+//
+//	cachesim -record ss.trace -workload SS            # one full simulation
+//	cachesim -replay ss.trace -policy Static-BDI      # milliseconds
+//	cachesim -replay ss.trace -compare                # all static policies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lattecc/internal/core"
+	"lattecc/internal/harness"
+	"lattecc/internal/modes"
+	"lattecc/internal/policy"
+	"lattecc/internal/sim"
+	"lattecc/internal/stats"
+	"lattecc/internal/tracefile"
+	"lattecc/internal/workload"
+)
+
+func main() {
+	var (
+		record       = flag.String("record", "", "record a trace to this file (needs -workload)")
+		replay       = flag.String("replay", "", "replay a trace from this file")
+		workloadName = flag.String("workload", "SS", "benchmark to record")
+		policyName   = flag.String("policy", "LATTE-CC", "policy to replay under")
+		compare      = flag.Bool("compare", false, "replay under every policy and tabulate")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if err := doRecord(*record, *workloadName); err != nil {
+			fmt.Fprintln(os.Stderr, "cachesim:", err)
+			os.Exit(1)
+		}
+	case *replay != "":
+		if err := doReplay(*replay, *policyName, *compare); err != nil {
+			fmt.Fprintln(os.Stderr, "cachesim:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doRecord(path, workloadName string) error {
+	wl, err := workload.ByName(workloadName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw, err := tracefile.NewWriter(f, workloadName)
+	if err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Trace = tw
+	start := time.Now()
+	res := sim.New(cfg, wl, func(int) modes.Controller {
+		return policy.NewStatic(modes.None, string(harness.Uncompressed), 256, 10)
+	}).Run()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d accesses from %s (%d cycles) to %s in %v\n",
+		tw.Count(), workloadName, res.Cycles, path, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// replayFactory builds controllers for the trace-replay policies.
+func replayFactory(p harness.Policy) (func(int) modes.Controller, error) {
+	switch p {
+	case harness.Uncompressed:
+		return func(int) modes.Controller {
+			return policy.NewStatic(modes.None, string(p), 256, 10)
+		}, nil
+	case harness.StaticBDI:
+		return func(int) modes.Controller {
+			return policy.NewStatic(modes.LowLat, string(p), 256, 10)
+		}, nil
+	case harness.StaticSC:
+		return func(int) modes.Controller {
+			return policy.NewStatic(modes.HighCap, string(p), 256, 10)
+		}, nil
+	case harness.LatteCC:
+		return func(n int) modes.Controller { return core.New(core.DefaultConfig(n)) }, nil
+	default:
+		return nil, fmt.Errorf("policy %q not supported for replay (use Uncompressed, Static-BDI, Static-SC, or LATTE-CC)", p)
+	}
+}
+
+func doReplay(path, policyName string, compare bool) error {
+	pols := []harness.Policy{harness.Policy(policyName)}
+	if compare {
+		pols = []harness.Policy{harness.Uncompressed, harness.StaticBDI, harness.StaticSC, harness.LatteCC}
+	}
+	t := stats.NewTable("policy", "accesses", "hit-rate", "comp-ratio", "evictions", "replay-time")
+	for _, p := range pols {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		r, err := tracefile.NewReader(f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		wl, err := workload.ByName(r.Workload())
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("trace was recorded from unknown workload: %w", err)
+		}
+		factory, err := replayFactory(p)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		start := time.Now()
+		rep, err := tracefile.Replay(r, sim.DefaultConfig().Cache, factory, wl.Data(), string(p))
+		f.Close()
+		if err != nil {
+			return err
+		}
+		t.AddRow(string(p), rep.Cache.Accesses, rep.Cache.HitRate(),
+			rep.Cache.AvgCompressionRatio(), rep.Cache.Evictions,
+			time.Since(start).Round(time.Millisecond).String())
+	}
+	fmt.Print(t.String())
+	return nil
+}

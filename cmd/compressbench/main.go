@@ -1,0 +1,119 @@
+// Command compressbench explores the five cache-line compression codecs
+// offline: it compresses a file (or the synthetic workloads' data images)
+// line by line and reports per-codec ratios, latencies, and throughput.
+//
+// Usage:
+//
+//	compressbench -file /path/to/data
+//	compressbench -workload SS
+//	compressbench                    # whole synthetic suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lattecc/internal/compress"
+	"lattecc/internal/stats"
+	"lattecc/internal/trace"
+	"lattecc/internal/workload"
+)
+
+func main() {
+	var (
+		file         = flag.String("file", "", "compress this file's contents instead of synthetic data")
+		workloadName = flag.String("workload", "", "compress one synthetic workload's data image")
+		lines        = flag.Int("lines", 2000, "number of cache lines to sample")
+	)
+	flag.Parse()
+
+	var sample [][]byte
+	var label string
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compressbench:", err)
+			os.Exit(1)
+		}
+		for off := 0; off+compress.LineSize <= len(data) && len(sample) < *lines; off += compress.LineSize {
+			sample = append(sample, data[off:off+compress.LineSize])
+		}
+		label = *file
+	case *workloadName != "":
+		w, err := workload.ByName(*workloadName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compressbench:", err)
+			os.Exit(1)
+		}
+		sample = workloadSample(w, *lines)
+		label = *workloadName
+	default:
+		for _, w := range workload.All() {
+			sample = append(sample, workloadSample(w, *lines/len(workload.All())+1)...)
+		}
+		label = "synthetic suite"
+	}
+	if len(sample) == 0 {
+		fmt.Fprintln(os.Stderr, "compressbench: no full cache lines in input")
+		os.Exit(1)
+	}
+
+	sc := compress.NewSC()
+	for _, l := range sample {
+		sc.Train(l)
+	}
+	sc.Rebuild()
+	codecs := []compress.Codec{
+		compress.NewBDI(), compress.NewFPC(), compress.NewCPACK(),
+		compress.NewBPC(), sc,
+	}
+
+	fmt.Printf("input: %s (%d lines, %d bytes)\n\n", label, len(sample), len(sample)*compress.LineSize)
+	t := stats.NewTable("codec", "ratio", "raw-lines", "decomp-cyc", "MB/s(sw)")
+	for _, c := range codecs {
+		var compressed, raws int
+		start := time.Now()
+		for _, l := range sample {
+			enc := c.Compress(l)
+			compressed += enc.Size
+			if enc.Raw {
+				raws++
+			}
+		}
+		elapsed := time.Since(start)
+		mbps := float64(len(sample)*compress.LineSize) / elapsed.Seconds() / 1e6
+		t.AddRow(c.Name(),
+			float64(len(sample)*compress.LineSize)/float64(compressed),
+			raws, c.DecompLatency(), mbps)
+	}
+	fmt.Print(t.String())
+}
+
+// workloadSample collects lines the workload's programs touch.
+func workloadSample(w trace.Workload, n int) [][]byte {
+	data := w.Data()
+	seen := map[uint64]bool{}
+	var out [][]byte
+	for _, k := range w.Kernels() {
+		for wi := 0; wi < k.WarpsPerBlock && len(out) < n; wi++ {
+			p := k.Program(0, wi)
+			for len(out) < n {
+				inst, ok := p.Next()
+				if !ok {
+					break
+				}
+				for _, addr := range inst.Addrs {
+					line := addr / compress.LineSize
+					if !seen[line] {
+						seen[line] = true
+						out = append(out, data.Line(line))
+					}
+				}
+			}
+		}
+	}
+	return out
+}

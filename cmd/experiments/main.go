@@ -1,0 +1,80 @@
+// Command experiments regenerates every table and figure of the LATTE-CC
+// paper's evaluation on the synthetic benchmark suite. See DESIGN.md for
+// the experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// comparisons.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig11            # one experiment
+//	experiments -all                  # everything, paper order
+//	experiments -exp fig11 -quick     # smaller machine for a fast pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lattecc/internal/harness"
+	"lattecc/internal/sim"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "use a smaller GPU (2 SMs) for a fast smoke pass")
+		verbose = flag.Bool("v", false, "print each simulation run")
+		csv     = flag.Bool("csv", false, "emit machine-readable CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := sim.DefaultConfig()
+	if *quick {
+		cfg.NumSMs = 2
+	}
+	suite := harness.NewSuite(cfg)
+	suite.Verbose = *verbose
+
+	run := func(e harness.Experiment) {
+		start := time.Now()
+		if *csv {
+			if e.Table == nil {
+				fmt.Fprintf(os.Stderr, "%s has no tabular form; skipping in CSV mode\n", e.ID)
+				return
+			}
+			fmt.Printf("# %s: %s\n%s\n", e.ID, e.Title, e.Table(suite).CSV())
+			return
+		}
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		fmt.Println(e.Run(suite))
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	switch {
+	case *all:
+		for _, e := range harness.Experiments() {
+			run(e)
+		}
+	case *exp != "":
+		e, ok := harness.ExperimentByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

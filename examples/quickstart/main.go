@@ -1,0 +1,49 @@
+// Quickstart: simulate one GPGPU benchmark under the baseline cache and
+// under LATTE-CC adaptive compression, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lattecc"
+)
+
+func main() {
+	cfg := lattecc.DefaultConfig() // the paper's Table II GPU
+
+	// SS (Similarity Score) is the paper's illustrating application: its
+	// dictionary-valued float data compresses 3x+ under SC, and its
+	// latency tolerance swings over time, so the best compression mode
+	// changes within the kernel.
+	base, err := lattecc.Run(cfg, "SS", lattecc.Uncompressed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	latte, err := lattecc.Run(cfg, "SS", lattecc.LatteCC)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("SS on the Table II GPU:")
+	fmt.Printf("  baseline:  %8d cycles, IPC %5.2f, L1 hit rate %.1f%%\n",
+		base.Cycles, base.IPC(), 100*base.Cache.HitRate())
+	fmt.Printf("  LATTE-CC:  %8d cycles, IPC %5.2f, L1 hit rate %.1f%%\n",
+		latte.Cycles, latte.IPC(), 100*latte.Cache.HitRate())
+	fmt.Printf("  speedup:   %.1f%%\n", 100*(float64(base.Cycles)/float64(latte.Cycles)-1))
+	fmt.Printf("  L1 misses: %d -> %d (%.1f%% reduction)\n",
+		base.Cache.Misses, latte.Cache.Misses,
+		100*(1-float64(latte.Cache.Misses)/float64(base.Cache.Misses)))
+
+	// Energy, via the GPUWattch-style event model.
+	params := lattecc.DefaultEnergyParams()
+	eb := lattecc.EvaluateEnergy(base, params)
+	el := lattecc.EvaluateEnergy(latte, params)
+	fmt.Printf("  energy:    %.1f%% of baseline\n", 100*el.Total()/eb.Total())
+
+	// How the controller spent its experimental phases.
+	fmt.Printf("  adaptive EPs: none=%d low-latency=%d high-capacity=%d (switches=%d)\n",
+		latte.ModeEPs[0], latte.ModeEPs[1], latte.ModeEPs[2], latte.Switches)
+}

@@ -1,0 +1,3 @@
+module lattecc
+
+go 1.22

@@ -1,0 +1,583 @@
+// Package cache implements the compressed GPU L1 data cache of the
+// LATTE-CC paper (Section IV-A): a sectored, set-associative cache
+// provisioned with four times the tag blocks of the baseline, storing
+// compressed data in 32-byte sub-blocks. A set that holds only
+// uncompressed lines degenerates to the baseline 4-way cache; fully
+// compressed 32-byte lines let a set hold up to 16 lines in the same data
+// space.
+//
+// The cache is a pure structure: it performs lookups, insertions with
+// compression, evictions, and decompression-queue timing, but does not
+// talk to the memory system. The SM model (package sim) handles misses,
+// MSHRs, and fills.
+package cache
+
+import (
+	"fmt"
+
+	"lattecc/internal/compress"
+	"lattecc/internal/modes"
+)
+
+// SubBlockSize is the compressed data allocation granularity in bytes
+// (Section IV-A: "allows data to be stored in 32B sub blocks").
+const SubBlockSize = 32
+
+// TagFactor is the tag over-provisioning of the compressed cache
+// (Section IV-A: "provisioned with four times the tag blocks").
+const TagFactor = 4
+
+// Config describes one L1 data cache instance.
+type Config struct {
+	SizeBytes int // data capacity (Table II: 16KB per SM)
+	LineSize  int // 128B
+	Ways      int // baseline associativity (4)
+
+	// HitLatency is the baseline L1 hit latency in cycles, before any
+	// decompression penalty.
+	HitLatency uint64
+	// ExtraHitLatency is added to every hit; the Figure 1 sensitivity
+	// sweep uses it to study hit-latency tolerance in isolation.
+	ExtraHitLatency uint64
+
+	// Codecs maps each compression mode to its codec. Codecs[modes.None]
+	// is ignored; LowLat/HighCap must be set if the controller can ever
+	// select those modes.
+	Codecs [modes.NumModes]compress.Codec
+
+	// CapacityOnly makes decompression free (0 extra cycles). It isolates
+	// the capacity benefit of compression — the Figure 3 upper bound.
+	CapacityOnly bool
+	// LatencyOnly stores every line at full size while still charging
+	// decompression latency — the Figure 4 penalty-only study.
+	LatencyOnly bool
+	// UnboundedDecompressor removes decompression-queue contention
+	// (infinite bandwidth); an ablation of the Equation 3 queue term.
+	UnboundedDecompressor bool
+	// DecompInitInterval is the decompressor's initiation interval in
+	// cycles: a new decompression can start every II cycles (the unit is
+	// pipelined, as the SC hardware of Section IV-C2 must be to sustain
+	// GPU hit bandwidth). Requests arriving faster queue (Equation 3).
+	// 0 defaults to 2.
+	DecompInitInterval uint64
+	// DecompBufferEntries enables an extension beyond the paper: a small
+	// fully-associative buffer of recently decompressed lines. A hit in
+	// the buffer returns data without re-decompressing, cutting both
+	// latency and decompressor contention for hot compressed lines.
+	// 0 (the paper's design) disables it.
+	DecompBufferEntries int
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses         uint64
+	Hits             uint64
+	Misses           uint64
+	CompressedHits   uint64
+	DecompWait       uint64 // total decompression-queue wait cycles
+	DecompBusy       uint64 // total cycles spent decompressing
+	DecompBufferHits uint64 // decompressions avoided by the line buffer
+	Evictions        uint64
+	Fills            uint64
+	FlushedLines     uint64 // lines invalidated by code-book rebuilds
+	WriteExpansions  uint64 // compressed lines expanded by write hits
+
+	InsertsByMode    [modes.NumModes]uint64
+	HitsByMode       [modes.NumModes]uint64 // hits by the hit line's stored mode
+	SubBlocksByMode  [modes.NumModes]uint64 // sub-blocks allocated at insert
+	UncompressedSize uint64                 // bytes represented by all fills
+	CompressedSize   uint64                 // bytes stored for all fills
+}
+
+// HitRate returns hits/accesses (0 for no accesses).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// AvgCompressionRatio returns the insertion-weighted compression ratio.
+func (s Stats) AvgCompressionRatio() float64 {
+	if s.CompressedSize == 0 {
+		return 1
+	}
+	return float64(s.UncompressedSize) / float64(s.CompressedSize)
+}
+
+// Result reports the outcome of one access.
+type Result struct {
+	Hit      bool
+	LineMode modes.Mode // mode the hit line was stored with
+	// ExtraLatency is the decompression penalty actually experienced:
+	// decompression latency plus queue wait (Equation 3). Zero for
+	// uncompressed hits and for misses.
+	ExtraLatency uint64
+	// Ready is the cycle the data is available on a hit (undefined on
+	// miss): now + HitLatency + ExtraHitLatency + ExtraLatency.
+	Ready uint64
+}
+
+// line is one tag entry of the compressed cache.
+type line struct {
+	valid     bool
+	tag       uint64
+	mode      modes.Mode
+	subBlocks int
+	gen       uint64 // HighCap code-book generation
+	lru       uint64
+}
+
+// set is one cache set: TagFactor×Ways tags sharing Ways×LineSize bytes of
+// data storage, allocated in sub-blocks.
+type set struct {
+	lines    []line
+	freeSub  int
+	lruClock uint64
+	totalSub int
+}
+
+// Cache is one SM's L1 data cache.
+type Cache struct {
+	cfg      Config
+	ctrl     modes.Controller
+	sets     []set
+	numSets  int
+	stats    Stats
+	validCnt int // valid lines across all sets (effective capacity probe)
+
+	// decompressor occupancy (one unit per SM, shared by both schedulers)
+	decompFree uint64
+	// decompBuf holds the line addresses of recently decompressed lines
+	// (FIFO); see Config.DecompBufferEntries.
+	decompBuf []uint64
+}
+
+// New builds a cache; it panics on inconsistent geometry (configs come
+// from this repository's harness, not external input).
+func New(cfg Config, ctrl modes.Controller) *Cache {
+	if cfg.LineSize <= 0 || cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic(fmt.Sprintf("cache: bad config %+v", cfg))
+	}
+	if cfg.LineSize%SubBlockSize != 0 {
+		panic("cache: line size must be a multiple of the sub-block size")
+	}
+	numSets := cfg.SizeBytes / (cfg.LineSize * cfg.Ways)
+	if numSets == 0 {
+		panic("cache: zero sets")
+	}
+	c := &Cache{cfg: cfg, ctrl: ctrl, numSets: numSets, sets: make([]set, numSets)}
+	subPerSet := cfg.Ways * cfg.LineSize / SubBlockSize
+	for i := range c.sets {
+		c.sets[i] = set{
+			lines:    make([]line, cfg.Ways*TagFactor),
+			freeSub:  subPerSet,
+			totalSub: subPerSet,
+		}
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// subBlocksPerLine is the sub-block count of an uncompressed line.
+func (c *Cache) subBlocksPerLine() int { return c.cfg.LineSize / SubBlockSize }
+
+// setIndex maps a line address to its set.
+func (c *Cache) setIndex(lineAddr uint64) int { return int(lineAddr % uint64(c.numSets)) }
+
+// Access looks up the line containing addr at cycle now. On a hit the
+// result carries the data-ready cycle including any decompression penalty.
+// On a miss the caller must fetch the line and call Fill. The controller
+// observes every access; a returned flush directive is applied before the
+// result is returned.
+func (c *Cache) Access(addr uint64, now uint64) Result {
+	lineAddr := addr / uint64(c.cfg.LineSize)
+	si := c.setIndex(lineAddr)
+	s := &c.sets[si]
+	c.stats.Accesses++
+
+	res := Result{}
+	for i := range s.lines {
+		l := &s.lines[i]
+		if l.valid && l.tag == lineAddr {
+			s.lruClock++
+			l.lru = s.lruClock
+			res.Hit = true
+			res.LineMode = l.mode
+			if l.mode != modes.None && !c.cfg.CapacityOnly {
+				if c.decompBufLookup(lineAddr) {
+					c.stats.DecompBufferHits++
+				} else {
+					res.ExtraLatency = c.decompress(l.mode, now)
+					c.stats.CompressedHits++
+					c.decompBufInsert(lineAddr)
+				}
+			}
+			break
+		}
+	}
+	if res.Hit {
+		c.stats.Hits++
+		c.stats.HitsByMode[res.LineMode]++
+		res.Ready = now + c.cfg.HitLatency + c.cfg.ExtraHitLatency + res.ExtraLatency
+	} else {
+		c.stats.Misses++
+	}
+
+	dir := c.ctrl.RecordAccess(si, res.Hit, res.LineMode, res.ExtraLatency, now)
+	c.applyDirective(dir)
+	return res
+}
+
+// decompress models the shared decompression unit (Equation 3): the
+// request waits for a pipeline slot (one issue per initiation interval),
+// then takes the codec's full decompression latency. Returns the extra
+// cycles beyond a normal hit.
+func (c *Cache) decompress(m modes.Mode, now uint64) uint64 {
+	codec := c.cfg.Codecs[m]
+	if codec == nil {
+		return 0
+	}
+	lat := uint64(codec.DecompLatency())
+	c.stats.DecompBusy += lat
+	if c.cfg.UnboundedDecompressor {
+		return lat
+	}
+	ii := c.cfg.DecompInitInterval
+	if ii == 0 {
+		ii = 2
+	}
+	start := now
+	if c.decompFree > now {
+		start = c.decompFree
+	}
+	wait := start - now
+	c.decompFree = start + ii
+	c.stats.DecompWait += wait
+	return wait + lat
+}
+
+// decompBufLookup reports whether the line's decompressed copy is still
+// buffered.
+func (c *Cache) decompBufLookup(lineAddr uint64) bool {
+	for _, a := range c.decompBuf {
+		if a == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// decompBufInsert records a freshly decompressed line (FIFO replacement).
+func (c *Cache) decompBufInsert(lineAddr uint64) {
+	n := c.cfg.DecompBufferEntries
+	if n <= 0 {
+		return
+	}
+	if len(c.decompBuf) < n {
+		c.decompBuf = append(c.decompBuf, lineAddr)
+		return
+	}
+	copy(c.decompBuf, c.decompBuf[1:])
+	c.decompBuf[len(c.decompBuf)-1] = lineAddr
+}
+
+// decompBufDrop invalidates one line's buffered copy (re-fill changes the
+// data).
+func (c *Cache) decompBufDrop(lineAddr uint64) {
+	for i, a := range c.decompBuf {
+		if a == lineAddr {
+			c.decompBuf = append(c.decompBuf[:i], c.decompBuf[i+1:]...)
+			return
+		}
+	}
+}
+
+// Fill installs the line containing addr with the given data bytes,
+// compressed according to the controller's mode for the set. It returns
+// the mode used. Fill also trains the high-capacity codec's value table:
+// the hardware VFT snoops the fill path regardless of the selected mode.
+func (c *Cache) Fill(addr uint64, data []byte, now uint64) modes.Mode {
+	lineAddr := addr / uint64(c.cfg.LineSize)
+	si := c.setIndex(lineAddr)
+	s := &c.sets[si]
+
+	if sc := c.highCapTrainer(); sc != nil {
+		sc.Train(data)
+	}
+
+	mode := c.ctrl.InsertMode(si)
+	if !mode.Valid() {
+		panic(fmt.Sprintf("cache: controller returned invalid mode %d", mode))
+	}
+	sub := c.subBlocksPerLine()
+	var gen uint64
+	if mode != modes.None {
+		codec := c.cfg.Codecs[mode]
+		if codec == nil {
+			mode = modes.None
+		} else {
+			enc := codec.Compress(data)
+			gen = enc.Generation
+			if c.cfg.LatencyOnly {
+				sub = c.subBlocksPerLine()
+			} else {
+				sub = (enc.Size + SubBlockSize - 1) / SubBlockSize
+			}
+			c.stats.UncompressedSize += uint64(c.cfg.LineSize)
+			c.stats.CompressedSize += uint64(enc.Size)
+			if enc.Raw {
+				// Incompressible under this codec: the hardware stores the
+				// line verbatim (encoding bits in the tag say "raw"), so
+				// hits pay no decompression latency.
+				mode = modes.None
+			}
+		}
+	} else {
+		c.stats.UncompressedSize += uint64(c.cfg.LineSize)
+		c.stats.CompressedSize += uint64(c.cfg.LineSize)
+	}
+
+	// If the line is somehow present (racing fills), replace it in place.
+	c.invalidateLine(s, lineAddr)
+	c.decompBufDrop(lineAddr)
+
+	// Make room: need a free tag and sub sub-blocks.
+	for !c.hasRoom(s, sub) {
+		if !c.evictLRU(s) {
+			panic("cache: cannot make room — geometry bug")
+		}
+	}
+	for i := range s.lines {
+		l := &s.lines[i]
+		if !l.valid {
+			s.lruClock++
+			*l = line{valid: true, tag: lineAddr, mode: mode, subBlocks: sub, gen: gen, lru: s.lruClock}
+			s.freeSub -= sub
+			c.validCnt++
+			break
+		}
+	}
+	c.stats.Fills++
+	c.stats.InsertsByMode[mode]++
+	c.stats.SubBlocksByMode[mode] += uint64(sub)
+	return mode
+}
+
+// hasRoom reports whether the set has a free tag and sub free sub-blocks.
+func (c *Cache) hasRoom(s *set, sub int) bool {
+	if s.freeSub < sub {
+		return false
+	}
+	for i := range s.lines {
+		if !s.lines[i].valid {
+			return true
+		}
+	}
+	return false
+}
+
+// evictLRU removes the least recently used valid line from the set.
+func (c *Cache) evictLRU(s *set) bool {
+	victim := -1
+	oldest := ^uint64(0)
+	for i := range s.lines {
+		if s.lines[i].valid && s.lines[i].lru < oldest {
+			oldest = s.lines[i].lru
+			victim = i
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	s.freeSub += s.lines[victim].subBlocks
+	s.lines[victim] = line{}
+	c.validCnt--
+	c.stats.Evictions++
+	return true
+}
+
+// invalidateLine removes a specific line if present.
+func (c *Cache) invalidateLine(s *set, lineAddr uint64) {
+	for i := range s.lines {
+		if s.lines[i].valid && s.lines[i].tag == lineAddr {
+			s.freeSub += s.lines[i].subBlocks
+			s.lines[i] = line{}
+			c.validCnt--
+			return
+		}
+	}
+}
+
+// applyDirective handles controller requests: flushing compressed lines
+// and rebuilding the high-capacity code book (Section IV-C2). The flush
+// only happens when a rebuild actually changed the code book — lines
+// encoded under an unchanged book stay decodable.
+func (c *Cache) applyDirective(dir modes.Directive) {
+	if dir.RebuildHighCap {
+		sc := c.highCapTrainer()
+		if sc == nil {
+			return
+		}
+		if !sc.Rebuild() {
+			return
+		}
+	}
+	if dir.FlushHighCap {
+		c.decompBuf = c.decompBuf[:0]
+		for si := range c.sets {
+			s := &c.sets[si]
+			for i := range s.lines {
+				if s.lines[i].valid && s.lines[i].mode == modes.HighCap {
+					s.freeSub += s.lines[i].subBlocks
+					s.lines[i] = line{}
+					c.validCnt--
+					c.stats.FlushedLines++
+				}
+			}
+		}
+	}
+	for _, sm := range dir.FlushMismatch {
+		if sm.Set < 0 || sm.Set >= c.numSets {
+			continue
+		}
+		s := &c.sets[sm.Set]
+		for i := range s.lines {
+			if !s.lines[i].valid || s.lines[i].mode == sm.Mode {
+				continue
+			}
+			if sm.KeepUncompressed && s.lines[i].mode == modes.None {
+				continue
+			}
+			s.freeSub += s.lines[i].subBlocks
+			s.lines[i] = line{}
+			c.validCnt--
+			c.stats.FlushedLines++
+		}
+	}
+}
+
+// highCapTrainer returns the high-capacity codec's training interface if
+// it has one (SC does; BPC is stateless).
+func (c *Cache) highCapTrainer() interface {
+	Train([]byte)
+	Rebuild() bool
+} {
+	if sc, ok := c.cfg.Codecs[modes.HighCap].(*compress.SC); ok {
+		return sc
+	}
+	return nil
+}
+
+// WriteTouch models a write hit under a write-through L1 (the policy the
+// paper declines in Section IV-C3): the stored line's contents change, so
+// a compressed line can no longer be assumed to fit its old encoding. The
+// conservative hardware response modelled here stores the written line
+// uncompressed, growing it to full size and evicting LRU lines if the
+// set overflows — exactly the "potentially evict other cache lines on
+// write hits" cost the paper's write-avoid choice sidesteps. Misses are
+// ignored (no write-allocate).
+func (c *Cache) WriteTouch(addr uint64, now uint64) {
+	lineAddr := addr / uint64(c.cfg.LineSize)
+	si := c.setIndex(lineAddr)
+	s := &c.sets[si]
+	for i := range s.lines {
+		l := &s.lines[i]
+		if !l.valid || l.tag != lineAddr {
+			continue
+		}
+		if l.mode == modes.None {
+			return
+		}
+		grow := c.subBlocksPerLine() - l.subBlocks
+		for s.freeSub < grow {
+			if !c.evictLRUExcept(s, i) {
+				// Nothing else to evict: drop the written line itself
+				// (write-no-allocate fallback).
+				s.freeSub += l.subBlocks
+				*l = line{}
+				c.validCnt--
+				c.stats.Evictions++
+				return
+			}
+		}
+		s.freeSub -= grow
+		l.mode = modes.None
+		l.subBlocks = c.subBlocksPerLine()
+		c.stats.WriteExpansions++
+		return
+	}
+}
+
+// evictLRUExcept evicts the least recently used valid line other than
+// the keep index.
+func (c *Cache) evictLRUExcept(s *set, keep int) bool {
+	victim := -1
+	oldest := ^uint64(0)
+	for i := range s.lines {
+		if i == keep {
+			continue
+		}
+		if s.lines[i].valid && s.lines[i].lru < oldest {
+			oldest = s.lines[i].lru
+			victim = i
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	s.freeSub += s.lines[victim].subBlocks
+	s.lines[victim] = line{}
+	c.validCnt--
+	c.stats.Evictions++
+	return true
+}
+
+// TrainHighCap feeds line data into the high-capacity codec's
+// value-frequency table. The cache already trains on every fill; the SM
+// additionally samples hit data through this method, because the VFT
+// tracks the frequency of *used* values (Section IV-C2), not just newly
+// inserted ones — an all-hit period would otherwise starve the table.
+func (c *Cache) TrainHighCap(data []byte) {
+	if sc := c.highCapTrainer(); sc != nil {
+		sc.Train(data)
+	}
+}
+
+// ValidLines returns the number of valid lines currently cached — the
+// effective-capacity probe of Figure 16 (each valid line represents
+// LineSize bytes of uncompressed data regardless of its stored size).
+func (c *Cache) ValidLines() int { return c.validCnt }
+
+// EffectiveCapacityRatio returns effective capacity relative to the
+// baseline uncompressed cache (valid uncompressed bytes / SizeBytes).
+func (c *Cache) EffectiveCapacityRatio() float64 {
+	return float64(c.validCnt*c.cfg.LineSize) / float64(c.cfg.SizeBytes)
+}
+
+// Flush invalidates every line (kernel boundary, or period boundary for
+// code-book rebuilds driven externally).
+func (c *Cache) Flush() {
+	c.decompBuf = c.decompBuf[:0]
+	for si := range c.sets {
+		s := &c.sets[si]
+		for i := range s.lines {
+			if s.lines[i].valid {
+				s.freeSub += s.lines[i].subBlocks
+				s.lines[i] = line{}
+				c.validCnt--
+			}
+		}
+	}
+}
+
+// ResetStats zeroes the counters without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }

@@ -1,0 +1,194 @@
+// Package compress implements the five cache-line compression algorithms
+// evaluated in the LATTE-CC paper (Table I):
+//
+//   - BDI    — Base-Delta-Immediate (Pekhimenko et al., PACT 2012)
+//   - FPC    — Frequent Pattern Compression (Alameldeen & Wood)
+//   - CPACK  — C-PACK dictionary compression with zero-line detection
+//   - BPC    — Bit-Plane Compression (Kim et al., ISCA 2016)
+//   - SC     — Huffman-based Statistical Compression (Arelakis & Stenström)
+//
+// All codecs operate on fixed-size cache lines (LineSize bytes) and produce
+// self-contained byte streams that round-trip exactly. Compressed sizes are
+// reported in bytes; the compressed cache rounds them up to 32-byte
+// sub-blocks when allocating data storage.
+//
+// Every codec is deterministic. SC is the only stateful codec: its Huffman
+// code book is rebuilt periodically from a value-frequency table that is
+// trained on inserted lines, mirroring the hardware VFT of Section IV-C2.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// LineSize is the cache line size in bytes (Table II: 128B lines).
+const LineSize = 128
+
+// WordsPerLine is the number of 32-bit words in a cache line.
+const WordsPerLine = LineSize / 4
+
+// Codec compresses and decompresses single cache lines.
+type Codec interface {
+	// Name returns the short algorithm name used in reports ("BDI", "SC", ...).
+	Name() string
+
+	// CompLatency returns the compression latency in SM cycles.
+	CompLatency() int
+
+	// DecompLatency returns the decompression latency in SM cycles. This
+	// is the extra hit latency a compressed line pays (before queueing).
+	DecompLatency() int
+
+	// Compress encodes line (which must be LineSize bytes) and returns the
+	// encoded form. If the line is incompressible under this algorithm the
+	// codec returns the line stored verbatim (compressed size == LineSize
+	// plus any unavoidable header); CompressedSize reports the size that
+	// the cache should account for.
+	Compress(line []byte) Encoded
+
+	// Decompress decodes an Encoded value produced by this codec and
+	// returns the original LineSize bytes. It returns an error if the
+	// encoding is corrupt or was produced by an incompatible code book.
+	Decompress(enc Encoded) ([]byte, error)
+}
+
+// Encoded is a compressed cache line together with its accounting size.
+type Encoded struct {
+	// Data is the self-contained encoded byte stream.
+	Data []byte
+	// Size is the size in bytes the cache should account for. It can be
+	// smaller than len(Data) when the hardware encoding packs bits more
+	// tightly than the byte-aligned software stream, and is never larger
+	// than LineSize (incompressible lines are stored raw).
+	Size int
+	// Raw reports that the line is stored uncompressed (no decompression
+	// latency applies on hits).
+	Raw bool
+	// Generation tags stateful codecs' code books (SC). A line encoded
+	// under an old generation cannot be decoded after a rebuild; the
+	// cache flushes such lines when the controller requests it.
+	Generation uint64
+}
+
+// CompressionRatio returns the ratio of the original line size to the
+// compressed size (>= 1 for any successful compression).
+func (e Encoded) CompressionRatio() float64 {
+	if e.Size <= 0 {
+		return 1
+	}
+	return float64(LineSize) / float64(e.Size)
+}
+
+// checkLine panics if the input is not exactly one cache line. Codecs are
+// internal components fed by the cache; a wrong size is a programming error.
+func checkLine(line []byte) {
+	if len(line) != LineSize {
+		panic(fmt.Sprintf("compress: line must be %d bytes, got %d", LineSize, len(line)))
+	}
+}
+
+// words32 reinterprets a line as little-endian 32-bit words.
+func words32(line []byte) [WordsPerLine]uint32 {
+	var w [WordsPerLine]uint32
+	for i := range w {
+		w[i] = binary.LittleEndian.Uint32(line[i*4:])
+	}
+	return w
+}
+
+// putWords32 writes little-endian 32-bit words into a LineSize buffer.
+func putWords32(w [WordsPerLine]uint32) []byte {
+	out := make([]byte, LineSize)
+	for i, v := range w {
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+	}
+	return out
+}
+
+// isZeroLine reports whether every byte of the line is zero.
+func isZeroLine(line []byte) bool {
+	for _, b := range line {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bitWriter packs bits most-significant-first into a byte stream. The codecs
+// use it to produce the exact bit counts the hardware encodings would, while
+// still emitting a decodable software stream.
+type bitWriter struct {
+	buf  []byte
+	nbit uint
+}
+
+// WriteBits appends the low n bits of v (n <= 64), most significant first.
+func (w *bitWriter) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic("compress: WriteBits n > 64")
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		bit := (v >> uint(i)) & 1
+		if w.nbit%8 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if bit != 0 {
+			w.buf[len(w.buf)-1] |= 1 << (7 - w.nbit%8)
+		}
+		w.nbit++
+	}
+}
+
+// Bits returns the number of bits written so far.
+func (w *bitWriter) Bits() int { return int(w.nbit) }
+
+// Bytes returns the packed stream (final partial byte zero-padded).
+func (w *bitWriter) Bytes() []byte { return w.buf }
+
+// SizeBytes returns the stream size rounded up to whole bytes.
+func (w *bitWriter) SizeBytes() int { return (int(w.nbit) + 7) / 8 }
+
+// bitReader reads bits most-significant-first from a byte stream.
+type bitReader struct {
+	buf []byte
+	pos uint // bit position
+}
+
+// ReadBits reads n bits (n <= 64) and returns them right-aligned. It
+// returns an error if the stream is exhausted.
+func (r *bitReader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic("compress: ReadBits n > 64")
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		byteIdx := r.pos / 8
+		if int(byteIdx) >= len(r.buf) {
+			return 0, fmt.Errorf("compress: bit stream exhausted at bit %d", r.pos)
+		}
+		bit := (r.buf[byteIdx] >> (7 - r.pos%8)) & 1
+		v = v<<1 | uint64(bit)
+		r.pos++
+	}
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *bitReader) ReadBit() (uint64, error) { return r.ReadBits(1) }
+
+// signExtend sign-extends the low n bits of v to 64 bits.
+func signExtend(v uint64, n uint) int64 {
+	shift := 64 - n
+	return int64(v<<shift) >> shift
+}
+
+// fitsSigned reports whether the signed value v is representable in n bits.
+func fitsSigned(v int64, n uint) bool {
+	if n >= 64 {
+		return true
+	}
+	lim := int64(1) << (n - 1)
+	return v >= -lim && v < lim
+}

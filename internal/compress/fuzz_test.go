@@ -1,0 +1,65 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzLine pads or truncates arbitrary fuzz input to one cache line.
+func fuzzLine(data []byte) []byte {
+	line := make([]byte, LineSize)
+	copy(line, data)
+	return line
+}
+
+// FuzzRoundTrip feeds arbitrary line contents through every codec:
+// compression must succeed, report a sane size, and decompress back to
+// the exact input.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, LineSize))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(bytes.Repeat([]byte{0xAB, 0x00, 0xCD, 0x01}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		line := fuzzLine(data)
+		sc := NewSC()
+		sc.Train(line)
+		sc.Rebuild()
+		for _, c := range []Codec{NewBDI(), NewFPC(), NewCPACK(), NewBPC(), sc} {
+			enc := c.Compress(line)
+			if enc.Size <= 0 || enc.Size > LineSize {
+				t.Fatalf("%s: size %d out of range", c.Name(), enc.Size)
+			}
+			dec, err := c.Decompress(enc)
+			if err != nil {
+				t.Fatalf("%s: decompress own output: %v", c.Name(), err)
+			}
+			if !bytes.Equal(dec, line) {
+				t.Fatalf("%s: round trip mismatch", c.Name())
+			}
+		}
+	})
+}
+
+// FuzzDecodeRobustness feeds arbitrary byte streams to every decoder:
+// corrupt input must produce an error or a line, never a panic or an
+// out-of-range result.
+func FuzzDecodeRobustness(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0xFF}, 140))
+	// A valid BDI stream as a seed so mutations explore near-valid space.
+	valid := NewBDI().Compress(fuzzLine([]byte{9, 9, 9})).Data
+	f.Add(valid)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := NewSC()
+		sc.Train(fuzzLine([]byte{1}))
+		sc.Rebuild()
+		for _, c := range []Codec{NewBDI(), NewFPC(), NewCPACK(), NewBPC(), sc} {
+			dec, err := c.Decompress(Encoded{Data: data})
+			if err == nil && len(dec) != LineSize {
+				t.Fatalf("%s: accepted stream but returned %d bytes", c.Name(), len(dec))
+			}
+		}
+	})
+}

@@ -1,0 +1,376 @@
+package compress
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// SC implements Huffman-coding based Statistical Compression (Arelakis &
+// Stenström, "SC2"), as adapted for GPUs by the LATTE-CC paper
+// (Section IV-C2). SC exploits temporal value locality: 32-bit values that
+// recur across the working set receive short variable-length codes.
+//
+// The hardware organisation the paper models — and this codec mirrors — is:
+//
+//   - a 1024-entry value-frequency table (VFT) with 12-bit saturating
+//     counters, trained on the values of inserted cache lines;
+//   - a code-word table in the compressor and a decompression lookup table
+//     (DeLUT), both (re)generated from the VFT at period boundaries;
+//   - values absent from the code book escape to a literal encoding.
+//
+// Because a rebuild invalidates every line encoded under the old code
+// book, Encoded values carry the code-book generation, and the cache
+// flushes compressed lines when the controller requests the rebuild.
+type SC struct {
+	vft        *VFT
+	table      *huffTable
+	generation uint64
+}
+
+// NewSC returns an SC codec with an empty value-frequency table and no
+// code book. Until the first Rebuild, Compress stores lines raw (the
+// hardware behaves identically while the first period's VFT trains).
+func NewSC() *SC { return &SC{vft: NewVFT(VFTEntries)} }
+
+// Name implements Codec.
+func (*SC) Name() string { return "SC" }
+
+// CompLatency implements Codec (6 cycles, Section IV-C2).
+func (*SC) CompLatency() int { return 6 }
+
+// DecompLatency implements Codec (14 cycles, Section IV-C2).
+func (*SC) DecompLatency() int { return 14 }
+
+// Generation returns the current code-book generation. Lines encoded under
+// older generations can no longer be decoded.
+func (s *SC) Generation() uint64 { return s.generation }
+
+// Train samples the 32-bit values of a line into the value-frequency
+// table. The cache calls this on every insertion, matching the hardware
+// VFT that snoops the fill path.
+func (s *SC) Train(line []byte) {
+	checkLine(line)
+	w := words32(line)
+	for _, v := range w[:] {
+		s.vft.Observe(v)
+	}
+}
+
+// Rebuild regenerates the Huffman code book from the current VFT contents,
+// clears the VFT for the next period, and bumps the generation
+// (Section IV-C2: the VFT is rebuilt during the final EP of each period).
+// An empty VFT (a period with no sampled values) keeps the existing code
+// book and generation — there is nothing to rebuild from, and invalidating
+// lines for an unchanged book would be pure waste. It reports whether the
+// code book changed (callers flush stale lines only in that case).
+func (s *SC) Rebuild() bool {
+	counts := s.vft.Snapshot()
+	if len(counts) == 0 {
+		return false
+	}
+	s.vft.Reset()
+	s.generation++
+	s.table = buildHuffTable(counts)
+	return s.table != nil
+}
+
+// Compress implements Codec. Each 32-bit word is emitted as its Huffman
+// code, or as the escape code followed by a 32-bit literal when the value
+// is not in the code book.
+func (s *SC) Compress(line []byte) Encoded {
+	checkLine(line)
+	if s.table == nil {
+		return Encoded{Data: append([]byte(nil), line...), Size: LineSize, Raw: true, Generation: s.generation}
+	}
+	words := words32(line)
+	var w bitWriter
+	for _, v := range words {
+		if c, ok := s.table.codes[v]; ok {
+			w.WriteBits(c.bits, c.len)
+		} else {
+			esc := s.table.escape
+			w.WriteBits(esc.bits, esc.len)
+			w.WriteBits(uint64(v), 32)
+		}
+	}
+	size := w.SizeBytes()
+	if size >= LineSize {
+		return Encoded{Data: append([]byte(nil), line...), Size: LineSize, Raw: true, Generation: s.generation}
+	}
+	return Encoded{Data: w.Bytes(), Size: size, Generation: s.generation}
+}
+
+// Decompress implements Codec. It fails if the line was encoded under a
+// different code-book generation — such lines must have been flushed.
+func (s *SC) Decompress(enc Encoded) ([]byte, error) {
+	if enc.Raw {
+		if len(enc.Data) < LineSize {
+			return nil, fmt.Errorf("sc: raw payload too short")
+		}
+		return append([]byte(nil), enc.Data[:LineSize]...), nil
+	}
+	if enc.Generation != s.generation {
+		return nil, fmt.Errorf("sc: stale code book (line gen %d, current %d)", enc.Generation, s.generation)
+	}
+	if s.table == nil {
+		return nil, fmt.Errorf("sc: no code book")
+	}
+	r := bitReader{buf: enc.Data}
+	var words [WordsPerLine]uint32
+	for i := range words {
+		sym, err := s.table.decodeSymbol(&r)
+		if err != nil {
+			return nil, fmt.Errorf("sc: %w", err)
+		}
+		if sym.escape {
+			lit, err := r.ReadBits(32)
+			if err != nil {
+				return nil, fmt.Errorf("sc: %w", err)
+			}
+			words[i] = uint32(lit)
+		} else {
+			words[i] = sym.value
+		}
+	}
+	return putWords32(words), nil
+}
+
+// VFTEntries is the value-frequency table capacity (Section IV-C2).
+const VFTEntries = 1024
+
+// vftCounterMax is the saturating limit of the 12-bit VFT counters.
+const vftCounterMax = 1<<12 - 1
+
+// VFT is a bounded value-frequency table with saturating counters. When
+// full, unseen values are not admitted — matching a simple hardware table
+// without replacement, which is the conservative choice.
+type VFT struct {
+	capacity int
+	counts   map[uint32]uint16
+}
+
+// NewVFT returns an empty VFT with the given entry capacity.
+func NewVFT(capacity int) *VFT {
+	return &VFT{capacity: capacity, counts: make(map[uint32]uint16)}
+}
+
+// Observe counts one occurrence of v, saturating at the 12-bit limit.
+func (t *VFT) Observe(v uint32) {
+	c, ok := t.counts[v]
+	if !ok {
+		if len(t.counts) >= t.capacity {
+			return
+		}
+		t.counts[v] = 1
+		return
+	}
+	if c < vftCounterMax {
+		t.counts[v] = c + 1
+	}
+}
+
+// Len returns the number of tracked values.
+func (t *VFT) Len() int { return len(t.counts) }
+
+// Snapshot returns the tracked values and counts.
+func (t *VFT) Snapshot() map[uint32]uint16 {
+	out := make(map[uint32]uint16, len(t.counts))
+	for v, c := range t.counts {
+		out[v] = c
+	}
+	return out
+}
+
+// Reset clears the table.
+func (t *VFT) Reset() { t.counts = make(map[uint32]uint16) }
+
+// huffCode is one canonical Huffman code.
+type huffCode struct {
+	bits uint64
+	len  uint
+}
+
+// huffSymbol is a decoded symbol: either a concrete value or the escape.
+type huffSymbol struct {
+	value  uint32
+	escape bool
+}
+
+// huffTable is a canonical Huffman code book over 32-bit values plus one
+// escape symbol, with a first-code decoding table (the DeLUT analogue).
+type huffTable struct {
+	codes  map[uint32]huffCode
+	escape huffCode
+	// canonical decode structures, indexed by code length 1..maxCodeLen
+	firstCode  [maxCodeLen + 1]uint64
+	firstIndex [maxCodeLen + 1]int
+	countAtLen [maxCodeLen + 1]int
+	symbols    []huffSymbol // in canonical order
+}
+
+// maxCodeLen bounds code lengths; frequencies are flattened until the
+// bound holds, which mirrors the fixed-width DeLUT of the hardware.
+const maxCodeLen = 24
+
+// huffNode is a Huffman construction tree node.
+type huffNode struct {
+	weight      uint64
+	sym         int // leaf symbol index, -1 for internal
+	left, right *huffNode
+	order       int // tie-break for determinism
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].order < h[j].order
+}
+func (h huffHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x interface{}) { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// buildHuffTable constructs a canonical, length-bounded Huffman code book
+// from value counts, adding an escape symbol with weight 1. Returns nil if
+// there is nothing to encode.
+func buildHuffTable(counts map[uint32]uint16) *huffTable {
+	type sym struct {
+		value  uint32
+		escape bool
+		weight uint64
+	}
+	syms := make([]sym, 0, len(counts)+1)
+	for v, c := range counts {
+		syms = append(syms, sym{value: v, weight: uint64(c)})
+	}
+	// Deterministic ordering for reproducible code books.
+	sort.Slice(syms, func(i, j int) bool { return syms[i].value < syms[j].value })
+	syms = append(syms, sym{escape: true, weight: 1})
+	if len(syms) < 2 {
+		return nil
+	}
+
+	weights := make([]uint64, len(syms))
+	for i, s := range syms {
+		weights[i] = s.weight
+	}
+	lengths := huffLengths(weights)
+	// Flatten frequencies until the length bound holds.
+	for tooLong(lengths) {
+		for i := range weights {
+			weights[i] = weights[i]/2 + 1
+		}
+		lengths = huffLengths(weights)
+	}
+
+	// Canonical assignment: sort symbols by (length, index).
+	idx := make([]int, len(syms))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if lengths[idx[a]] != lengths[idx[b]] {
+			return lengths[idx[a]] < lengths[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+
+	t := &huffTable{codes: make(map[uint32]huffCode, len(syms))}
+	t.symbols = make([]huffSymbol, len(syms))
+	var code uint64
+	var prevLen uint
+	for rank, i := range idx {
+		l := lengths[i]
+		if l == 0 {
+			l = 1 // degenerate single-symbol case
+		}
+		code <<= l - prevLen
+		prevLen = l
+		hc := huffCode{bits: code, len: l}
+		if syms[i].escape {
+			t.escape = hc
+		} else {
+			t.codes[syms[i].value] = hc
+		}
+		t.symbols[rank] = huffSymbol{value: syms[i].value, escape: syms[i].escape}
+		if t.countAtLen[l] == 0 {
+			t.firstCode[l] = code
+			t.firstIndex[l] = rank
+		}
+		t.countAtLen[l]++
+		code++
+	}
+	return t
+}
+
+// tooLong reports whether any code length exceeds the DeLUT bound.
+func tooLong(lengths []uint) bool {
+	for _, l := range lengths {
+		if l > maxCodeLen {
+			return true
+		}
+	}
+	return false
+}
+
+// huffLengths computes Huffman code lengths for the given weights.
+func huffLengths(weights []uint64) []uint {
+	h := make(huffHeap, 0, len(weights))
+	order := 0
+	for i, w := range weights {
+		h = append(h, &huffNode{weight: w, sym: i, order: order})
+		order++
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*huffNode)
+		b := heap.Pop(&h).(*huffNode)
+		heap.Push(&h, &huffNode{weight: a.weight + b.weight, sym: -1, left: a, right: b, order: order})
+		order++
+	}
+	lengths := make([]uint, len(weights))
+	if h.Len() == 1 {
+		assignDepths(h[0], 0, lengths)
+	}
+	return lengths
+}
+
+// assignDepths walks the tree recording leaf depths.
+func assignDepths(n *huffNode, depth uint, lengths []uint) {
+	if n.sym >= 0 {
+		lengths[n.sym] = depth
+		return
+	}
+	assignDepths(n.left, depth+1, lengths)
+	assignDepths(n.right, depth+1, lengths)
+}
+
+// decodeSymbol reads one canonical code from the stream.
+func (t *huffTable) decodeSymbol(r *bitReader) (huffSymbol, error) {
+	var code uint64
+	for l := uint(1); l <= maxCodeLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return huffSymbol{}, err
+		}
+		code = code<<1 | b
+		if t.countAtLen[l] == 0 {
+			continue
+		}
+		offset := int(code) - int(t.firstCode[l])
+		if offset >= 0 && offset < t.countAtLen[l] {
+			return t.symbols[t.firstIndex[l]+offset], nil
+		}
+	}
+	return huffSymbol{}, fmt.Errorf("invalid Huffman code")
+}

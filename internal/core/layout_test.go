@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"lattecc/internal/modes"
+)
+
+// defaultCfg is the shipping mid-period layout (unlike testCfg's
+// paper-literal layout in lattecc_test.go).
+func defaultCfg() Config { return DefaultConfig(32) }
+
+// drive pushes n accesses round-robin over all sets, reporting hits for
+// dedicated sets per hitFor, and returns every directive emitted.
+func drive(c *Controller, n uint64, hitFor map[modes.Mode]bool) []modes.Directive {
+	var dirs []modes.Directive
+	for i := uint64(0); i < n; i++ {
+		set := int(i) % c.cfg.NumSets
+		hit := false
+		lineMode := modes.None
+		if d := c.dedicated[set]; d >= 0 {
+			m := modes.Mode(d)
+			hit = hitFor[m]
+			lineMode = m
+		}
+		dirs = append(dirs, c.RecordAccess(set, hit, lineMode, 0, i))
+	}
+	return dirs
+}
+
+func TestMidPeriodLearningWindow(t *testing.T) {
+	c := New(defaultCfg())
+	// EPs 0..(LearningStart-Warmup-1): followers everywhere.
+	if c.dedicating() || c.learning() {
+		t.Fatal("period must open in follower mode")
+	}
+	perEP := c.cfg.EPAccesses
+	// Advance to the warmup window (end of EP0 = boundary 1).
+	drive(c, perEP*(c.cfg.LearningStartEP-c.cfg.WarmupEPs), nil)
+	if !c.dedicating() {
+		t.Fatalf("EP %d should start the warmup window", c.epInPeriod)
+	}
+	if c.learning() {
+		t.Fatal("warmup must not count")
+	}
+	// Advance to the learning EP.
+	drive(c, perEP*c.cfg.WarmupEPs, nil)
+	if !c.learning() || !c.dedicating() {
+		t.Fatalf("EP %d should be the learning EP", c.epInPeriod)
+	}
+	// After learning+carryover the dedicated sets follow again.
+	drive(c, perEP*(c.cfg.LearningEPs+c.cfg.CarryoverEPs), nil)
+	if c.dedicating() || c.countingHits() {
+		t.Fatal("window must be closed after carryover")
+	}
+}
+
+func TestMismatchFlushAtWindowOpenAndClose(t *testing.T) {
+	c := New(defaultCfg())
+	perEP := c.cfg.EPAccesses
+	dirs := drive(c, perEP*c.cfg.EPsPerPeriod, map[modes.Mode]bool{modes.LowLat: true})
+	var openFlush, closeFlush int
+	for i, d := range dirs {
+		if len(d.FlushMismatch) == 0 {
+			continue
+		}
+		ep := uint64(i+1) / perEP // directive fires at the boundary access
+		switch ep {
+		case c.cfg.LearningStartEP - c.cfg.WarmupEPs:
+			openFlush++
+			for _, sm := range d.FlushMismatch {
+				if sm.KeepUncompressed {
+					t.Fatal("window-open flush must clear everything mismatched")
+				}
+				if c.dedicated[sm.Set] < 0 || modes.Mode(c.dedicated[sm.Set]) != sm.Mode {
+					t.Fatal("window-open flush must target dedicated sets with their own mode")
+				}
+			}
+		case c.cfg.LearningStartEP + c.cfg.LearningEPs + c.cfg.CarryoverEPs:
+			closeFlush++
+			for _, sm := range d.FlushMismatch {
+				if !sm.KeepUncompressed {
+					t.Fatal("window-close flush must keep uncompressed lines")
+				}
+				if sm.Mode != c.CurrentMode() {
+					t.Fatal("window-close flush must keep the winner's mode")
+				}
+			}
+		default:
+			t.Fatalf("unexpected mismatch flush at EP %d", ep)
+		}
+	}
+	if openFlush != 1 || closeFlush != 1 {
+		t.Fatalf("flushes: open=%d close=%d, want 1/1", openFlush, closeFlush)
+	}
+}
+
+func TestSamplingBackoff(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.StableBeforeBackoff = 2
+	cfg.SampleEveryPeriods = 4
+	c := New(cfg)
+	perPeriod := cfg.EPAccesses * cfg.EPsPerPeriod
+	// A stable scenario: LowLat sets always hit, so the winner never
+	// changes after the first decision.
+	hits := map[modes.Mode]bool{modes.LowLat: true}
+	samplingPeriods := 0
+	for period := 0; period < 12; period++ {
+		drive(c, perPeriod, hits)
+		if c.sampling {
+			samplingPeriods++
+		}
+	}
+	if samplingPeriods >= 12 {
+		t.Fatal("backoff never engaged")
+	}
+	// With backoff 4, after stabilization roughly 1 in 4 periods samples.
+	if samplingPeriods > 7 {
+		t.Fatalf("sampled %d of 12 periods, expected backoff to ~1 in 4", samplingPeriods)
+	}
+}
+
+func TestBackoffDisabled(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.SampleEveryPeriods = 0
+	c := New(cfg)
+	perPeriod := cfg.EPAccesses * cfg.EPsPerPeriod
+	for period := 0; period < 8; period++ {
+		drive(c, perPeriod, map[modes.Mode]bool{modes.LowLat: true})
+		if !c.sampling {
+			t.Fatal("sampling must stay on when backoff is disabled")
+		}
+	}
+}
+
+func TestWinnerChangeRearmsSampling(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.StableBeforeBackoff = 1
+	cfg.SampleEveryPeriods = 8
+	c := New(cfg)
+	perPeriod := cfg.EPAccesses * cfg.EPsPerPeriod
+	// Stabilize on LowLat.
+	for period := 0; period < 4; period++ {
+		drive(c, perPeriod, map[modes.Mode]bool{modes.LowLat: true})
+	}
+	if c.stablePeriods == 0 {
+		t.Fatal("should have stabilized")
+	}
+	// Force a winner change during a sampling period: make HighCap hit
+	// and LowLat miss until the decision flips.
+	for period := 0; period < 16 && c.CurrentMode() != modes.HighCap; period++ {
+		c.RecordTolerance(100) // hide SC latency
+		drive(c, perPeriod, map[modes.Mode]bool{modes.HighCap: true})
+	}
+	if c.CurrentMode() != modes.HighCap {
+		t.Fatal("phase change never detected — backoff starved adaptation")
+	}
+}
+
+func TestWarmupValidation(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.WarmupEPs = cfg.LearningStartEP + 1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("warmup before period start must panic")
+		}
+	}()
+	New(cfg)
+}

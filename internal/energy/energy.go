@@ -1,0 +1,147 @@
+// Package energy implements the event-based GPU energy model used for the
+// paper's Figures 6(b), 13, and 14. It substitutes for GPUWattch (see
+// DESIGN.md): each architectural event carries a per-event energy, static
+// power integrates over the run's cycle count, and the codec energies are
+// the paper's own Section IV-C numbers (BDI 0.192/0.056 nJ, SC 0.42/0.336
+// nJ per compression/decompression).
+//
+// Absolute joules are not the target — the figures report energy
+// normalized to the uncompressed baseline, which depends only on the
+// relative component weights. The defaults put the breakdown near a
+// GPGPU-typical split (roughly: static ~35%, SM dynamic ~30%, memory
+// hierarchy + data movement ~35%).
+package energy
+
+import (
+	"lattecc/internal/modes"
+	"lattecc/internal/sim"
+)
+
+// Params holds per-event energies in nanojoules and static power terms.
+type Params struct {
+	// InstEnergy is the SM dynamic energy per warp instruction (fetch,
+	// decode, register file, and 32 lanes of execution).
+	InstEnergy float64
+	// L1Access is the energy per L1 data cache access.
+	L1Access float64
+	// L2Access is the energy per L2 access.
+	L2Access float64
+	// DRAMAccess is the energy per DRAM transaction (row + I/O).
+	DRAMAccess float64
+	// NoCPerByte is the interconnect energy per byte moved between the
+	// SMs and L2 (data movement energy).
+	NoCPerByte float64
+	// DRAMBusPerByte is the off-chip bus energy per byte.
+	DRAMBusPerByte float64
+
+	// CompressEnergy / DecompressEnergy per event, by mode
+	// (Section IV-C: BDI 0.192/0.056 nJ, SC 0.42/0.336 nJ).
+	CompressEnergy   [modes.NumModes]float64
+	DecompressEnergy [modes.NumModes]float64
+
+	// StaticPerCycle is the whole-GPU leakage + clock energy per cycle.
+	StaticPerCycle float64
+}
+
+// DefaultParams returns the calibrated model.
+func DefaultParams() Params {
+	return Params{
+		InstEnergy:     1.0,
+		L1Access:       0.6,
+		L2Access:       2.5,
+		DRAMAccess:     25,
+		NoCPerByte:     0.04,
+		DRAMBusPerByte: 0.1,
+		CompressEnergy: [modes.NumModes]float64{
+			modes.LowLat:  0.192,
+			modes.HighCap: 0.42,
+		},
+		DecompressEnergy: [modes.NumModes]float64{
+			modes.LowLat:  0.056,
+			modes.HighCap: 0.336,
+		},
+		StaticPerCycle: 28.6, // ~40W at 1.4GHz
+	}
+}
+
+// Breakdown is the per-component energy of one run, in nanojoules.
+type Breakdown struct {
+	Exec       float64 // SM dynamic execution energy
+	L1         float64
+	L2         float64
+	DRAM       float64
+	NoC        float64 // SM<->L2 data movement
+	DRAMBus    float64 // off-chip data movement
+	Compress   float64
+	Decompress float64
+	Static     float64
+}
+
+// Total returns the summed energy.
+func (b Breakdown) Total() float64 {
+	return b.Exec + b.L1 + b.L2 + b.DRAM + b.NoC + b.DRAMBus +
+		b.Compress + b.Decompress + b.Static
+}
+
+// DataMovement returns the data-movement component (the Figure 14
+// "data movement" category: interconnect plus off-chip bus energy).
+func (b Breakdown) DataMovement() float64 { return b.NoC + b.DRAMBus }
+
+// Evaluate computes the energy breakdown of a simulation result.
+func Evaluate(res sim.Result, p Params) Breakdown {
+	var b Breakdown
+	b.Exec = float64(res.Instructions) * p.InstEnergy
+	b.L1 = float64(res.Cache.Accesses) * p.L1Access
+	b.L2 = float64(res.Mem.L2Accesses) * p.L2Access
+	b.DRAM = float64(res.Mem.DRAMReads+res.Mem.DRAMWrites) * p.DRAMAccess
+	b.NoC = float64(res.Mem.BytesL1L2) * p.NoCPerByte
+	b.DRAMBus = float64(res.Mem.BytesL2DRAM) * p.DRAMBusPerByte
+	for _, m := range modes.All() {
+		if m == modes.None {
+			continue
+		}
+		b.Compress += float64(res.Cache.InsertsByMode[m]) * p.CompressEnergy[m]
+		b.Decompress += float64(res.Cache.HitsByMode[m]) * p.DecompressEnergy[m]
+	}
+	b.Static = float64(res.Cycles) * p.StaticPerCycle
+	return b
+}
+
+// Normalized returns this breakdown's total relative to a baseline run's
+// total (the y-axis of Figures 6(b) and 13).
+func Normalized(b, baseline Breakdown) float64 {
+	base := baseline.Total()
+	if base == 0 {
+		return 0
+	}
+	return b.Total() / base
+}
+
+// SavingsBreakdown decomposes the energy reduction of a run relative to
+// the baseline into the Figure 14 categories, each expressed as a
+// fraction of the baseline total (positive = saving).
+type SavingsBreakdown struct {
+	Static       float64 // runtime reduction → less leakage
+	DataMovement float64 // NoC + off-chip bytes
+	MemHierarchy float64 // L1 + L2 + DRAM access energy
+	Exec         float64
+	CodecCost    float64 // negative saving: compression/decompression cost
+	Net          float64
+}
+
+// Savings computes the Figure 14 decomposition.
+func Savings(run, baseline Breakdown) SavingsBreakdown {
+	base := baseline.Total()
+	if base == 0 {
+		return SavingsBreakdown{}
+	}
+	s := SavingsBreakdown{
+		Static:       (baseline.Static - run.Static) / base,
+		DataMovement: (baseline.DataMovement() - run.DataMovement()) / base,
+		MemHierarchy: (baseline.L1 + baseline.L2 + baseline.DRAM - run.L1 - run.L2 - run.DRAM) / base,
+		Exec:         (baseline.Exec - run.Exec) / base,
+		CodecCost:    -(run.Compress + run.Decompress - baseline.Compress - baseline.Decompress) / base,
+	}
+	s.Net = s.Static + s.DataMovement + s.MemHierarchy + s.Exec + s.CodecCost
+	return s
+}

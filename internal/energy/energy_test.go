@@ -1,0 +1,138 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lattecc/internal/cache"
+	"lattecc/internal/mem"
+	"lattecc/internal/modes"
+	"lattecc/internal/sim"
+)
+
+func sampleResult() sim.Result {
+	var cs cache.Stats
+	cs.Accesses = 1000
+	cs.InsertsByMode[modes.LowLat] = 100
+	cs.InsertsByMode[modes.HighCap] = 50
+	cs.HitsByMode[modes.LowLat] = 400
+	cs.HitsByMode[modes.HighCap] = 200
+	return sim.Result{
+		Cycles:       10000,
+		Instructions: 5000,
+		Cache:        cs,
+		Mem: mem.Stats{
+			L2Accesses:  300,
+			DRAMReads:   60,
+			DRAMWrites:  20,
+			BytesL1L2:   300 * 128,
+			BytesL2DRAM: 80 * 128,
+		},
+	}
+}
+
+func TestEvaluateComponents(t *testing.T) {
+	p := DefaultParams()
+	b := Evaluate(sampleResult(), p)
+	if b.Exec != 5000*p.InstEnergy {
+		t.Errorf("Exec = %v", b.Exec)
+	}
+	if b.L1 != 1000*p.L1Access {
+		t.Errorf("L1 = %v", b.L1)
+	}
+	if b.DRAM != 80*p.DRAMAccess {
+		t.Errorf("DRAM = %v", b.DRAM)
+	}
+	wantComp := 100*p.CompressEnergy[modes.LowLat] + 50*p.CompressEnergy[modes.HighCap]
+	if math.Abs(b.Compress-wantComp) > 1e-9 {
+		t.Errorf("Compress = %v, want %v", b.Compress, wantComp)
+	}
+	wantDec := 400*p.DecompressEnergy[modes.LowLat] + 200*p.DecompressEnergy[modes.HighCap]
+	if math.Abs(b.Decompress-wantDec) > 1e-9 {
+		t.Errorf("Decompress = %v, want %v", b.Decompress, wantDec)
+	}
+	if b.Static != 10000*p.StaticPerCycle {
+		t.Errorf("Static = %v", b.Static)
+	}
+	sum := b.Exec + b.L1 + b.L2 + b.DRAM + b.NoC + b.DRAMBus + b.Compress + b.Decompress + b.Static
+	if math.Abs(b.Total()-sum) > 1e-9 {
+		t.Errorf("Total = %v, want %v", b.Total(), sum)
+	}
+}
+
+func TestCodecEnergiesMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.CompressEnergy[modes.LowLat] != 0.192 || p.DecompressEnergy[modes.LowLat] != 0.056 {
+		t.Error("BDI energies must match Section IV-C1")
+	}
+	if p.CompressEnergy[modes.HighCap] != 0.42 || p.DecompressEnergy[modes.HighCap] != 0.336 {
+		t.Error("SC energies must match Section IV-C2")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	p := DefaultParams()
+	res := sampleResult()
+	b := Evaluate(res, p)
+	if n := Normalized(b, b); math.Abs(n-1) > 1e-12 {
+		t.Fatalf("self-normalized = %v", n)
+	}
+	// A run with half the cycles should consume less total energy.
+	fast := res
+	fast.Cycles = res.Cycles / 2
+	bf := Evaluate(fast, p)
+	if Normalized(bf, b) >= 1 {
+		t.Fatal("shorter run must normalize below 1")
+	}
+	if Normalized(b, Breakdown{}) != 0 {
+		t.Fatal("zero baseline must return 0")
+	}
+}
+
+func TestSavingsDecompositionSumsToNet(t *testing.T) {
+	f := func(cycScale, memScale uint8) bool {
+		p := DefaultParams()
+		base := Evaluate(sampleResult(), p)
+		run := sampleResult()
+		run.Cycles = run.Cycles * uint64(cycScale%100+1) / 100
+		run.Mem.DRAMReads = run.Mem.DRAMReads * uint64(memScale%100+1) / 100
+		rb := Evaluate(run, p)
+		s := Savings(rb, base)
+		want := (base.Total() - rb.Total()) / base.Total()
+		return math.Abs(s.Net-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSavingsSignConventions(t *testing.T) {
+	p := DefaultParams()
+	base := Evaluate(sampleResult(), p)
+	// A run identical to baseline but with codec activity has a negative
+	// codec "saving" and zero elsewhere.
+	run := sampleResult()
+	run.Cache.InsertsByMode[modes.HighCap] += 1000
+	rb := Evaluate(run, p)
+	s := Savings(rb, base)
+	if s.CodecCost >= 0 {
+		t.Fatalf("extra codec work must show as negative saving, got %v", s.CodecCost)
+	}
+	if s.Static != 0 || s.Exec != 0 {
+		t.Fatal("untouched components must show zero saving")
+	}
+}
+
+func TestSavingsZeroBaseline(t *testing.T) {
+	if s := Savings(Breakdown{}, Breakdown{}); s != (SavingsBreakdown{}) {
+		t.Fatal("zero baseline must yield zero breakdown")
+	}
+}
+
+func TestDataMovement(t *testing.T) {
+	b := Breakdown{NoC: 3, DRAMBus: 4}
+	if b.DataMovement() != 7 {
+		t.Fatal("data movement must sum NoC and bus energy")
+	}
+}

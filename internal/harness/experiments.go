@@ -1,0 +1,829 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"lattecc/internal/compress"
+	"lattecc/internal/core"
+	"lattecc/internal/energy"
+	"lattecc/internal/modes"
+	"lattecc/internal/sim"
+	"lattecc/internal/stats"
+	"lattecc/internal/trace"
+	"lattecc/internal/workload"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run renders the experiment as human-readable text.
+	Run func(s *Suite) string
+	// Table returns the underlying data table for machine-readable output
+	// (CSV); nil for prose/series experiments (fig5, fig16, ablation).
+	Table func(s *Suite) *stats.Table
+}
+
+// Experiments lists every table and figure of the paper's evaluation, in
+// paper order. `cmd/experiments -exp <id>` runs one; DESIGN.md carries
+// the full index.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"tab1", "Table I: compression algorithm comparison", Tab1, tab1Table},
+		{"fig1", "Figure 1: IPC sensitivity to added L1 hit latency", Fig1, fig1Table},
+		{"fig2", "Figure 2: compression ratio of inserted L1 lines", Fig2, fig2Table},
+		{"fig3", "Figure 3: capacity-only speedup upper bound", Fig3, fig3Table},
+		{"fig4", "Figure 4: degradation from decompression latency alone", Fig4, fig4Table},
+		{"fig5", "Figure 5: SS latency tolerance over time", Fig5, nil},
+		{"fig6", "Figure 6: potential performance and energy impact", Fig6, fig6Table},
+		{"tab2", "Table II: simulated baseline configuration", Tab2, tab2Table},
+		{"tab3", "Table III: benchmarks", Tab3, tab3Table},
+		{"fig11", "Figure 11: speedup vs baseline (all policies)", Fig11, fig11Table},
+		{"fig12", "Figure 12: L1 miss reduction", Fig12, fig12Table},
+		{"fig13", "Figure 13: normalized GPU energy", Fig13, fig13Table},
+		{"fig14", "Figure 14: LATTE-CC energy savings breakdown", Fig14, fig14Table},
+		{"fig15", "Figure 15: LATTE-CC vs Kernel-OPT agreement", Fig15, fig15Table},
+		{"fig16", "Figure 16: SS effective cache capacity over time", Fig16, nil},
+		{"fig17", "Figure 17: adaptive policy comparison", Fig17, fig17Table},
+		{"fig18", "Figure 18: LATTE-CC with BDI+BPC modes", Fig18, fig18Table},
+		{"sens48k", "Section V-E: 48KB L1 sensitivity", Sens48K, sens48KTable},
+		{"writepolicy", "Section IV-C3: write-avoid vs write-through L1", WritePolicy, writePolicyTable},
+		{"sensparams", "LATTE-CC parameter sensitivity (EP length, sampling sets, decompressor)", SensParams, sensParamsTable},
+		{"ablation", "Design-choice ablations (DESIGN.md section 4)", Ablation, nil},
+	}
+}
+
+// ExperimentByID finds an experiment.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// sampledLines returns up to n data lines a workload's programs touch,
+// weighted by access frequency (every 8th transaction is sampled), for
+// the offline compressibility studies (Table I / Figure 2). Frequency
+// weighting approximates the paper's "all cache lines inserted in the
+// L1" population: regions a kernel leans on dominate the sample the way
+// they dominate insertions.
+func sampledLines(w trace.Workload, n int) [][]byte {
+	data := w.Data()
+	var out [][]byte
+	count := 0
+	for _, k := range w.Kernels() {
+		// Spread sampled warps across the grid so the sample's distinct-
+		// line diversity matches the runtime footprint (a single block's
+		// warps would make the value population look far smaller than the
+		// working set the VFT actually faces).
+		blockStride := k.Blocks/8 + 1
+		perProgram := n/16 + 1
+		for bi := 0; bi < k.Blocks && len(out) < n; bi += blockStride {
+			for wi := 0; wi < k.WarpsPerBlock && len(out) < n; wi++ {
+				p := k.Program(bi, wi)
+				taken := 0
+				for len(out) < n && taken < perProgram {
+					inst, ok := p.Next()
+					if !ok {
+						break
+					}
+					for _, addr := range inst.Addrs {
+						count++
+						if count%8 != 0 {
+							continue
+						}
+						out = append(out, data.Line(addr/uint64(workload.LineSize)))
+						taken++
+						if len(out) >= n || taken >= perProgram {
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// allCodecs returns fresh instances of the five Table I codecs, with SC
+// pre-trained on the sample (its hardware trains online; offline studies
+// give it one training pass, mirroring a warmed VFT).
+func allCodecs(sample [][]byte) []compress.Codec {
+	sc := compress.NewSC()
+	for _, l := range sample {
+		sc.Train(l)
+	}
+	sc.Rebuild()
+	return []compress.Codec{
+		compress.NewBDI(), compress.NewFPC(), compress.NewCPACK(),
+		compress.NewBPC(), sc,
+	}
+}
+
+// ratioOver computes a codec's average compression ratio over lines.
+func ratioOver(c compress.Codec, lines [][]byte) float64 {
+	var un, co float64
+	for _, l := range lines {
+		enc := c.Compress(l)
+		un += float64(compress.LineSize)
+		co += float64(enc.Size)
+	}
+	if co == 0 {
+		return 1
+	}
+	return un / co
+}
+
+// Tab1 reproduces Table I: per-algorithm decompression latency and the
+// measured average compression ratio over the whole suite's data.
+func tab1Table(s *Suite) *stats.Table {
+	var all [][]byte
+	for _, w := range workload.All() {
+		all = append(all, sampledLines(w, 200)...)
+	}
+	t := stats.NewTable("algorithm", "decomp-cycles", "comp-cycles", "avg-ratio", "locality")
+	locality := map[string]string{
+		"BDI": "spatial", "FPC": "spatial", "CPACK-Z": "both",
+		"BPC": "spatial", "SC": "temporal",
+	}
+	for _, c := range allCodecs(all) {
+		t.AddRow(c.Name(), c.DecompLatency(), c.CompLatency(), ratioOver(c, all), locality[c.Name()])
+	}
+	return t
+}
+
+// Tab1 renders the table.
+func Tab1(s *Suite) string { return tab1Table(s).String() }
+
+// fig1Workloads are the example workloads of Figure 1.
+var fig1Workloads = []string{"PRK", "CLR", "MIS", "BC", "FW"}
+
+// fig1Latencies is the swept added hit latency (BDI=2 ... SC=14).
+var fig1Latencies = []uint64{0, 2, 5, 9, 14}
+
+// Fig1 reproduces Figure 1: normalized IPC as L1 hit latency grows.
+func fig1Table(s *Suite) *stats.Table {
+	header := []string{"workload"}
+	for _, l := range fig1Latencies {
+		header = append(header, fmt.Sprintf("+%d", l))
+	}
+	t := stats.NewTable(header...)
+	for _, name := range fig1Workloads {
+		base := s.MustRun(name, Uncompressed, Variant{})
+		row := []interface{}{name}
+		for _, lat := range fig1Latencies {
+			r := s.MustRun(name, Uncompressed, Variant{ExtraHitLatency: lat})
+			row = append(row, float64(base.Cycles)/float64(r.Cycles))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig1 renders the table.
+func Fig1(s *Suite) string { return fig1Table(s).String() }
+
+// Fig2 reproduces Figure 2: per-workload compression ratio under the five
+// algorithms, over the lines the workload actually inserts.
+func fig2Table(s *Suite) *stats.Table {
+	t := stats.NewTable("workload", "BDI", "FPC", "CPACK-Z", "BPC", "SC")
+	var sums [5]float64
+	n := 0
+	for _, w := range workload.All() {
+		lines := sampledLines(w, 400)
+		codecs := allCodecs(lines)
+		row := []interface{}{w.Name()}
+		for i, c := range codecs {
+			r := ratioOver(c, lines)
+			sums[i] += r
+			row = append(row, r)
+		}
+		n++
+		t.AddRow(row...)
+	}
+	avg := []interface{}{"MEAN"}
+	for _, s := range sums {
+		avg = append(avg, s/float64(n))
+	}
+	t.AddRow(avg...)
+	return t
+}
+
+// Fig2 renders the table.
+func Fig2(s *Suite) string { return fig2Table(s).String() }
+
+// Fig3 reproduces Figure 3: speedup upper bound when compression's
+// capacity is free (zero decompression latency).
+func fig3Table(s *Suite) *stats.Table {
+	t := stats.NewTable("workload", "cat", "BDI-cap-only", "SC-cap-only")
+	var bdis, scs []float64
+	for _, name := range Workloads() {
+		cat, _ := Category(name)
+		b, err := s.Speedup(name, StaticBDI, Variant{CapacityOnly: true})
+		if err != nil {
+			panic(err)
+		}
+		c, err := s.Speedup(name, StaticSC, Variant{CapacityOnly: true})
+		if err != nil {
+			panic(err)
+		}
+		if cat == trace.CSens {
+			bdis = append(bdis, b)
+			scs = append(scs, c)
+		}
+		t.AddRow(name, cat.String(), b, c)
+	}
+	t.AddRow("GEOMEAN(C-Sens)", "", stats.Geomean(bdis), stats.Geomean(scs))
+	return t
+}
+
+// Fig3 renders the table.
+func Fig3(s *Suite) string { return fig3Table(s).String() }
+
+// Fig4 reproduces Figure 4: slowdown when decompression latency applies
+// but capacity does not.
+func fig4Table(s *Suite) *stats.Table {
+	t := stats.NewTable("workload", "cat", "BDI-lat-only", "SC-lat-only")
+	for _, name := range Workloads() {
+		cat, _ := Category(name)
+		b, err := s.Speedup(name, StaticBDI, Variant{LatencyOnly: true})
+		if err != nil {
+			panic(err)
+		}
+		c, err := s.Speedup(name, StaticSC, Variant{LatencyOnly: true})
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(name, cat.String(), b, c)
+	}
+	return t
+}
+
+// Fig4 renders the table.
+func Fig4(s *Suite) string { return fig4Table(s).String() }
+
+// Fig5 reproduces Figure 5: SS's latency-tolerance estimate over time.
+func Fig5(s *Suite) string {
+	res := s.MustRun("SS", LatteCC, Variant{SampleSeries: true})
+	var b strings.Builder
+	fmt.Fprintf(&b, "SS latency tolerance over time (SM0, %d samples)\n", res.ToleranceSeries.Len())
+	fmt.Fprintf(&b, "%s\n\n", stats.Sparkline(res.ToleranceSeries.Points(), 72))
+	t := stats.NewTable("cycle", "tolerance")
+	for _, p := range res.ToleranceSeries.Points() {
+		t.AddRow(p.Cycle, p.Value)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Fig6 reproduces Figure 6: potential performance (a) and energy (b)
+// impact of Static-BDI, Static-SC, and the adaptive scheme, C-Sens.
+func fig6Table(s *Suite) *stats.Table {
+	t := stats.NewTable("workload", "BDI-spd", "SC-spd", "LATTE-spd", "BDI-energy", "SC-energy", "LATTE-energy")
+	p := energy.DefaultParams()
+	for _, name := range CSensNames() {
+		base := s.MustRun(name, Uncompressed, Variant{})
+		eb := energy.Evaluate(base, p)
+		row := []interface{}{name}
+		var spd, en []float64
+		for _, pol := range []Policy{StaticBDI, StaticSC, LatteCC} {
+			r := s.MustRun(name, pol, Variant{})
+			spd = append(spd, float64(base.Cycles)/float64(r.Cycles))
+			en = append(en, energy.Normalized(energy.Evaluate(r, p), eb))
+		}
+		row = append(row, spd[0], spd[1], spd[2], en[0], en[1], en[2])
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig6 renders the table.
+func Fig6(s *Suite) string { return fig6Table(s).String() }
+
+// Tab2 prints the simulated configuration (Table II).
+func tab2Table(s *Suite) *stats.Table {
+	cfg := s.Config()
+	t := stats.NewTable("parameter", "value")
+	t.AddRow("Num. of SMs", cfg.NumSMs)
+	t.AddRow("Max warps per SM", cfg.MaxWarpsPerSM)
+	t.AddRow("Max blocks per SM", cfg.MaxBlocksPerSM)
+	t.AddRow("Schedulers per SM", cfg.SchedulersPerSM)
+	t.AddRow("Warp size", cfg.WarpSize)
+	t.AddRow("L1 data cache", fmt.Sprintf("%dKB/SM, %dB lines, %d-way",
+		cfg.Cache.SizeBytes/1024, cfg.Cache.LineSize, cfg.Cache.Ways))
+	t.AddRow("L2 cache", fmt.Sprintf("%dKB, %d banks, %d-way",
+		cfg.Mem.L2SizeBytes/1024, cfg.Mem.L2Banks, cfg.Mem.L2Ways))
+	t.AddRow("Min L2 latency", cfg.Mem.L2Latency)
+	t.AddRow("Min DRAM latency", cfg.Mem.L2Latency+cfg.Mem.DRAMLatency)
+	t.AddRow("Warp scheduler", "GTO")
+	t.AddRow("MSHRs per SM", cfg.MSHRs)
+	t.AddRow("L1 ports", cfg.L1Ports)
+	return t
+}
+
+// Tab2 renders the table.
+func Tab2(s *Suite) string { return tab2Table(s).String() }
+
+// Tab3 prints the benchmark suite (Table III).
+func tab3Table(s *Suite) *stats.Table {
+	t := stats.NewTable("abbr", "category", "kernels", "approx-insts")
+	for _, w := range workload.All() {
+		var insts int
+		for _, k := range w.Kernels() {
+			perWarp := 0
+			p := k.Program(0, 0)
+			for {
+				if _, ok := p.Next(); !ok {
+					break
+				}
+				perWarp++
+			}
+			insts += perWarp * k.Blocks * k.WarpsPerBlock
+		}
+		t.AddRow(w.Name(), w.Category().String(), len(w.Kernels()), insts)
+	}
+	return t
+}
+
+// Tab3 renders the table.
+func Tab3(s *Suite) string { return tab3Table(s).String() }
+
+// fig11Policies is the Figure 11 policy set.
+var fig11Policies = []Policy{StaticBDI, StaticSC, LatteCC, KernelOpt}
+
+// Fig11 reproduces Figure 11: speedup over the uncompressed baseline.
+func fig11Table(s *Suite) *stats.Table {
+	header := []string{"workload", "cat"}
+	for _, p := range fig11Policies {
+		header = append(header, string(p))
+	}
+	t := stats.NewTable(header...)
+	agg := map[Policy][]float64{}
+	for _, name := range Workloads() {
+		cat, _ := Category(name)
+		row := []interface{}{name, cat.String()}
+		for _, p := range fig11Policies {
+			spd, err := s.Speedup(name, p, Variant{})
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, spd)
+			if cat == trace.CSens {
+				agg[p] = append(agg[p], spd)
+			}
+		}
+		t.AddRow(row...)
+	}
+	row := []interface{}{"GEOMEAN", "C-Sens"}
+	for _, p := range fig11Policies {
+		row = append(row, stats.Geomean(agg[p]))
+	}
+	t.AddRow(row...)
+	return t
+}
+
+// Fig11 renders the table.
+func Fig11(s *Suite) string { return fig11Table(s).String() }
+
+// Fig12 reproduces Figure 12: L1 miss reduction per policy.
+func fig12Table(s *Suite) *stats.Table {
+	header := []string{"workload", "cat"}
+	for _, p := range fig11Policies {
+		header = append(header, string(p))
+	}
+	t := stats.NewTable(header...)
+	agg := map[Policy][]float64{}
+	for _, name := range Workloads() {
+		cat, _ := Category(name)
+		row := []interface{}{name, cat.String()}
+		for _, p := range fig11Policies {
+			mr, err := s.MissReduction(name, p)
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, mr)
+			if cat == trace.CSens {
+				agg[p] = append(agg[p], mr)
+			}
+		}
+		t.AddRow(row...)
+	}
+	row := []interface{}{"MEAN", "C-Sens"}
+	for _, p := range fig11Policies {
+		row = append(row, stats.Mean(agg[p]))
+	}
+	t.AddRow(row...)
+	return t
+}
+
+// Fig12 renders the table.
+func Fig12(s *Suite) string { return fig12Table(s).String() }
+
+// Fig13 reproduces Figure 13: GPU energy normalized to the baseline.
+func fig13Table(s *Suite) *stats.Table {
+	pols := []Policy{StaticBDI, StaticSC, LatteCC}
+	header := []string{"workload", "cat"}
+	for _, p := range pols {
+		header = append(header, string(p))
+	}
+	t := stats.NewTable(header...)
+	params := energy.DefaultParams()
+	agg := map[Policy][]float64{}
+	for _, name := range Workloads() {
+		cat, _ := Category(name)
+		base := energy.Evaluate(s.MustRun(name, Uncompressed, Variant{}), params)
+		row := []interface{}{name, cat.String()}
+		for _, p := range pols {
+			e := energy.Normalized(energy.Evaluate(s.MustRun(name, p, Variant{}), params), base)
+			row = append(row, e)
+			if cat == trace.CSens {
+				agg[p] = append(agg[p], e)
+			}
+		}
+		t.AddRow(row...)
+	}
+	row := []interface{}{"MEAN", "C-Sens"}
+	for _, p := range pols {
+		row = append(row, stats.Mean(agg[p]))
+	}
+	t.AddRow(row...)
+	return t
+}
+
+// Fig13 renders the table.
+func Fig13(s *Suite) string { return fig13Table(s).String() }
+
+// Fig14 reproduces Figure 14: the breakdown of LATTE-CC's energy savings
+// for C-Sens workloads.
+func fig14Table(s *Suite) *stats.Table {
+	t := stats.NewTable("workload", "static", "data-movement", "mem-hierarchy", "exec", "codec-cost", "net")
+	params := energy.DefaultParams()
+	var sums energy.SavingsBreakdown
+	n := 0
+	for _, name := range CSensNames() {
+		base := energy.Evaluate(s.MustRun(name, Uncompressed, Variant{}), params)
+		run := energy.Evaluate(s.MustRun(name, LatteCC, Variant{}), params)
+		sv := energy.Savings(run, base)
+		t.AddRow(name, sv.Static, sv.DataMovement, sv.MemHierarchy, sv.Exec, sv.CodecCost, sv.Net)
+		sums.Static += sv.Static
+		sums.DataMovement += sv.DataMovement
+		sums.MemHierarchy += sv.MemHierarchy
+		sums.Exec += sv.Exec
+		sums.CodecCost += sv.CodecCost
+		sums.Net += sv.Net
+		n++
+	}
+	f := float64(n)
+	t.AddRow("MEAN", sums.Static/f, sums.DataMovement/f, sums.MemHierarchy/f, sums.Exec/f, sums.CodecCost/f, sums.Net/f)
+	return t
+}
+
+// Fig14 renders the table.
+func Fig14(s *Suite) string { return fig14Table(s).String() }
+
+// Fig15 reproduces Figure 15: fraction of execution where LATTE-CC's
+// decision agrees with Kernel-OPT's, and the performance delta.
+func fig15Table(s *Suite) *stats.Table {
+	t := stats.NewTable("workload", "agree-frac", "perf-delta(KernelOPT - LATTE)")
+	for _, name := range CSensNames() {
+		latte := s.MustRun(name, LatteCC, Variant{})
+		sched, err := s.kernelOptSchedule(name, Variant{})
+		if err != nil {
+			panic(err)
+		}
+		agree, total := 0, 0
+		for i, m := range latte.EPLog {
+			ki := 0
+			if i < len(latte.EPKernels) {
+				ki = int(latte.EPKernels[i])
+			}
+			if ki >= len(sched) {
+				ki = len(sched) - 1
+			}
+			if ki >= 0 && sched[ki] == m {
+				agree++
+			}
+			total++
+		}
+		frac := 0.0
+		if total > 0 {
+			frac = float64(agree) / float64(total)
+		}
+		lspd, _ := s.Speedup(name, LatteCC, Variant{})
+		kspd, _ := s.Speedup(name, KernelOpt, Variant{})
+		t.AddRow(name, frac, kspd-lspd)
+	}
+	return t
+}
+
+// Fig15 renders the table.
+func Fig15(s *Suite) string { return fig15Table(s).String() }
+
+// Fig16 reproduces Figure 16: SS's effective cache capacity over time for
+// Static-BDI, Static-SC, and LATTE-CC.
+func Fig16(s *Suite) string {
+	var b strings.Builder
+	for _, p := range []Policy{StaticBDI, StaticSC, LatteCC} {
+		res := s.MustRun("SS", p, Variant{SampleSeries: true})
+		pts := res.CapacitySeries.Points()
+		var avg float64
+		for _, pt := range pts {
+			avg += pt.Value
+		}
+		if len(pts) > 0 {
+			avg /= float64(len(pts))
+		}
+		fmt.Fprintf(&b, "%-12s avg effective capacity %.2fx (%d samples)\n", p, avg, len(pts))
+	}
+	res := s.MustRun("SS", LatteCC, Variant{SampleSeries: true})
+	fmt.Fprintf(&b, "\nLATTE-CC capacity over time:\n%s\n\n", stats.Sparkline(res.CapacitySeries.Points(), 72))
+	b.WriteString("LATTE-CC capacity series:\n")
+	t := stats.NewTable("cycle", "effective-capacity-x")
+	for _, p := range res.CapacitySeries.Points() {
+		t.AddRow(p.Cycle, p.Value)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Fig17 reproduces Figure 17: LATTE-CC against the tolerance-blind
+// adaptive baselines, C-Sens workloads.
+func fig17Table(s *Suite) *stats.Table {
+	pols := []Policy{AdaptiveHits, AdaptiveCMP, LatteCC}
+	header := []string{"workload"}
+	for _, p := range pols {
+		header = append(header, string(p)+"-spd", string(p)+"-missred")
+	}
+	t := stats.NewTable(header...)
+	agg := map[Policy][]float64{}
+	for _, name := range CSensNames() {
+		row := []interface{}{name}
+		for _, p := range pols {
+			spd, err := s.Speedup(name, p, Variant{})
+			if err != nil {
+				panic(err)
+			}
+			mr, _ := s.MissReduction(name, p)
+			row = append(row, spd, mr)
+			agg[p] = append(agg[p], spd)
+		}
+		t.AddRow(row...)
+	}
+	row := []interface{}{"GEOMEAN"}
+	for _, p := range pols {
+		row = append(row, stats.Geomean(agg[p]), "")
+	}
+	t.AddRow(row...)
+	return t
+}
+
+// Fig17 renders the table.
+func Fig17(s *Suite) string { return fig17Table(s).String() }
+
+// Fig18 reproduces Figure 18: LATTE-CC with BDI+BPC component codecs.
+func fig18Table(s *Suite) *stats.Table {
+	t := stats.NewTable("workload", "LATTE-CC", "LATTE-CC-BDI-BPC")
+	var a, b []float64
+	for _, name := range CSensNames() {
+		l, err := s.Speedup(name, LatteCC, Variant{})
+		if err != nil {
+			panic(err)
+		}
+		bp, err := s.Speedup(name, LatteBDIBPC, Variant{})
+		if err != nil {
+			panic(err)
+		}
+		a = append(a, l)
+		b = append(b, bp)
+		t.AddRow(name, l, bp)
+	}
+	t.AddRow("GEOMEAN", stats.Geomean(a), stats.Geomean(b))
+	return t
+}
+
+// Fig18 renders the table.
+func Fig18(s *Suite) string { return fig18Table(s).String() }
+
+// Sens48K reproduces the Section V-E cache-size sensitivity: the same
+// comparison with a 48KB L1 (the alternative NVIDIA carve-out).
+func sens48KTable(s *Suite) *stats.Table {
+	cfg := s.Config()
+	cfg.Cache.SizeBytes = 48 * 1024
+	big := NewSuite(cfg)
+	big.Verbose = s.Verbose
+	t := stats.NewTable("workload", "Static-BDI", "LATTE-CC")
+	var bs, ls []float64
+	for _, name := range CSensNames() {
+		b, err := big.Speedup(name, StaticBDI, Variant{})
+		if err != nil {
+			panic(err)
+		}
+		l, err := big.Speedup(name, LatteCC, Variant{})
+		if err != nil {
+			panic(err)
+		}
+		bs, ls = append(bs, b), append(ls, l)
+		t.AddRow(name, b, l)
+	}
+	t.AddRow("GEOMEAN", stats.Geomean(bs), stats.Geomean(ls))
+	return t
+}
+
+// Sens48K renders the table.
+func Sens48K(s *Suite) string { return sens48KTable(s).String() }
+
+// WritePolicy verifies the paper's Section IV-C3 claim that the L1 write
+// policy has negligible performance impact, by re-running store-carrying
+// workloads with a write-through L1 (write hits expand compressed lines
+// and may evict neighbours) against the default write-avoid policy.
+func writePolicyTable(s *Suite) *stats.Table {
+	cfg := s.Config()
+	cfg.WriteThroughL1 = true
+	wt := NewSuite(cfg)
+	wt.Verbose = s.Verbose
+	t := stats.NewTable("workload", "write-avoid", "write-through", "delta%%")
+	for _, name := range []string{"FWT", "BP", "WC", "SR1", "SS", "KM"} {
+		a, err := s.Speedup(name, LatteCC, Variant{})
+		if err != nil {
+			panic(err)
+		}
+		b, err := wt.Speedup(name, LatteCC, Variant{})
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(name, a, b, 100*(b/a-1))
+	}
+
+	// Worst-case bound: a kernel that repeatedly stores into a resident,
+	// compressed working set — every store is a write hit that expands a
+	// compressed line. Real workloads sit far from this corner.
+	stress := &workload.Spec{
+		WName: "WSTRESS", Cat: trace.CSens,
+		Regions: []workload.Region{{Start: 0, Lines: 1 << 13, Style: workload.StyleDictFloat, Seed: 77, Dict: 64}},
+		KernelSeq: []workload.KernelSpec{{
+			Name: "stress", Blocks: 60, WarpsPerBlock: 8,
+			Phases: []workload.Phase{
+				{Kind: workload.PhaseReuse, Region: 0, Iters: 600, ALU: 2, WSLines: 10},
+				{Kind: workload.PhaseStore, Region: 0, Iters: 300, ALU: 1},
+				{Kind: workload.PhaseReuse, Region: 0, Iters: 600, ALU: 2, WSLines: 10},
+			},
+		}},
+	}
+	stressSpeedup := func(cfg sim.Config) float64 {
+		baseRes, err := RunWorkload(cfg, stress, Uncompressed)
+		if err != nil {
+			panic(err)
+		}
+		res, err := RunWorkload(cfg, stress, LatteCC)
+		if err != nil {
+			panic(err)
+		}
+		return float64(baseRes.Cycles) / float64(res.Cycles)
+	}
+	a := stressSpeedup(s.Config())
+	bCfg := s.Config()
+	bCfg.WriteThroughL1 = true
+	bv := stressSpeedup(bCfg)
+	t.AddRow("WSTRESS(bound)", a, bv, 100*(bv/a-1))
+	return t
+}
+
+// WritePolicy renders the table.
+func WritePolicy(s *Suite) string { return writePolicyTable(s).String() }
+
+// SensParams sweeps LATTE-CC's own parameters (Section IV-C3 choices) on
+// SS: the EP length, the number of dedicated sampling sets, and the
+// decompressor initiation interval.
+func sensParamsTable(s *Suite) *stats.Table {
+	base, err := s.Run("SS", Uncompressed, Variant{})
+	if err != nil {
+		panic(err)
+	}
+	w, err := workload.ByName("SS")
+	if err != nil {
+		panic(err)
+	}
+	latteSpeedup := func(cfg sim.Config, mutate func(*core.Config)) float64 {
+		res := sim.New(cfg, w, func(n int) modes.Controller {
+			c := core.DefaultConfig(n)
+			if mutate != nil {
+				mutate(&c)
+			}
+			return core.New(c)
+		}).Run()
+		return float64(base.Cycles) / float64(res.Cycles)
+	}
+
+	t := stats.NewTable("parameter", "value", "SS-speedup")
+	for _, ep := range []uint64{64, 128, 256, 512, 1024} {
+		ep := ep
+		t.AddRow("EP length (accesses)", ep, latteSpeedup(s.Config(), func(c *core.Config) { c.EPAccesses = ep }))
+	}
+	for _, ded := range []int{1, 2, 4, 8} {
+		ded := ded
+		t.AddRow("dedicated sets/mode", ded, latteSpeedup(s.Config(), func(c *core.Config) { c.DedicatedSetsPerMode = ded }))
+	}
+	for _, ii := range []uint64{1, 2, 4, 8} {
+		cfg := s.Config()
+		cfg.Cache.DecompInitInterval = ii
+		t.AddRow("decompressor II (cycles)", ii, latteSpeedup(cfg, nil))
+	}
+	return t
+}
+
+// SensParams renders the table.
+func SensParams(s *Suite) string { return sensParamsTable(s).String() }
+
+// Ablation quantifies the design choices DESIGN.md sections 4-5 call
+// out, on a representative C-Sens pair (one SC-affine, one BDI-affine)
+// plus a latency-critical C-InSens victim.
+func Ablation(s *Suite) string {
+	var b strings.Builder
+	b.WriteString("Ablations on SS (SC-affine), FW (BDI-affine), NW (latency-critical):\n\n")
+	names := []string{"SS", "FW", "NW"}
+	t := stats.NewTable("ablation", "SS", "FW", "NW")
+
+	row := func(label string, run func(name string) float64) {
+		cells := []interface{}{label}
+		for _, n := range names {
+			cells = append(cells, run(n))
+		}
+		t.AddRow(cells...)
+	}
+
+	speedupWith := func(suite *Suite, name string) float64 {
+		spd, err := suite.Speedup(name, LatteCC, Variant{})
+		if err != nil {
+			panic(err)
+		}
+		return spd
+	}
+
+	// Default configuration.
+	row("default", func(n string) float64 { return speedupWith(s, n) })
+
+	// 1. Unbounded decompressor (Equation 3 queue term removed).
+	cfg := s.Config()
+	cfg.Cache.UnboundedDecompressor = true
+	noQueue := NewSuite(cfg)
+	row("no-decomp-queue", func(n string) float64 { return speedupWith(noQueue, n) })
+
+	// 2. Paper-literal controller layout: learning first (cold-biased
+	// sampling), no warmup decontamination, no sampling backoff.
+	row("paper-literal-controller", func(n string) float64 {
+		return latteVariantSpeedup(s, n, func(c *core.Config) {
+			c.LearningStartEP = 0
+			c.WarmupEPs = 0
+			c.SampleEveryPeriods = 0
+		})
+	})
+
+	// 3. No hit-count carryover EP (Section III-B1's generational-reuse
+	// argument).
+	row("no-carryover", func(n string) float64 {
+		return latteVariantSpeedup(s, n, func(c *core.Config) { c.CarryoverEPs = 0 })
+	})
+
+	// 4. No sampling backoff (pay the sampling overhead every period).
+	row("no-sampling-backoff", func(n string) float64 {
+		return latteVariantSpeedup(s, n, func(c *core.Config) { c.SampleEveryPeriods = 0 })
+	})
+
+	// 5. Round-robin scheduler (Section III-B2's simpler tolerance case).
+	rrCfg := s.Config()
+	rrCfg.Scheduler = sim.SchedRR
+	rr := NewSuite(rrCfg)
+	row("rr-scheduler", func(n string) float64 { return speedupWith(rr, n) })
+
+	// 6. Decompressed-line buffer extension (beyond the paper): 8 entries
+	// of recently decompressed lines short-circuit repeat decompressions.
+	bufCfg := s.Config()
+	bufCfg.Cache.DecompBufferEntries = 8
+	buf := NewSuite(bufCfg)
+	row("decomp-buffer-8", func(n string) float64 { return speedupWith(buf, n) })
+
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// latteVariantSpeedup runs a workload under a LATTE-CC controller with a
+// modified configuration, against the suite's cached baseline.
+func latteVariantSpeedup(s *Suite, name string, mutate func(*core.Config)) float64 {
+	base, err := s.Run(name, Uncompressed, Variant{})
+	if err != nil {
+		panic(err)
+	}
+	w, err := workload.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	res := sim.New(s.Config(), w, func(n int) modes.Controller {
+		cfg := core.DefaultConfig(n)
+		mutate(&cfg)
+		return core.New(cfg)
+	}).Run()
+	return float64(base.Cycles) / float64(res.Cycles)
+}

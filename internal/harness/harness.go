@@ -1,0 +1,341 @@
+// Package harness orchestrates the paper's evaluation: it wires policies
+// to simulator runs, caches results so the figures that share runs
+// (Figures 11-14) simulate each (workload, policy) pair once, implements
+// the Kernel-OPT oracle's measure-then-replay protocol, and renders every
+// table and figure of the paper as text tables (package experiments
+// functions on the Suite).
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"lattecc/internal/compress"
+	"lattecc/internal/core"
+	"lattecc/internal/modes"
+	"lattecc/internal/policy"
+	"lattecc/internal/sim"
+	"lattecc/internal/trace"
+	"lattecc/internal/workload"
+)
+
+// Policy names a compression-management policy.
+type Policy string
+
+// The policies evaluated in the paper.
+const (
+	Uncompressed Policy = "Uncompressed"
+	StaticBDI    Policy = "Static-BDI"
+	StaticSC     Policy = "Static-SC"
+	StaticBPC    Policy = "Static-BPC"
+	LatteCC      Policy = "LATTE-CC"
+	LatteBDIBPC  Policy = "LATTE-CC-BDI-BPC"
+	AdaptiveHits Policy = "Adaptive-Hit-Count"
+	AdaptiveCMP  Policy = "Adaptive-CMP"
+	KernelOpt    Policy = "Kernel-OPT"
+)
+
+// latteEPLen / lattePeriod are the Section IV-C3 parameters, shared with
+// the static policies' code-book maintenance cadence.
+const (
+	latteEPLen  = 256
+	lattePeriod = 10
+)
+
+// Variant adjusts a run for the motivation studies.
+type Variant struct {
+	// CapacityOnly grants compression's capacity benefit with zero
+	// decompression latency (Figure 3's upper bound).
+	CapacityOnly bool
+	// LatencyOnly charges decompression latency without any capacity
+	// benefit (Figure 4).
+	LatencyOnly bool
+	// ExtraHitLatency adds cycles to every L1 hit (Figure 1's sweep).
+	ExtraHitLatency uint64
+	// SampleSeries enables the over-time probes (Figures 5 and 16).
+	SampleSeries bool
+}
+
+// key identifies a cached run.
+type key struct {
+	workload string
+	policy   Policy
+	variant  Variant
+}
+
+// Suite runs and caches simulations for one GPU configuration.
+type Suite struct {
+	cfg sim.Config
+
+	mu      sync.Mutex
+	results map[key]sim.Result
+	// Verbose, when set, prints one line per completed run.
+	Verbose bool
+}
+
+// NewSuite returns a Suite over the given configuration (typically
+// sim.DefaultConfig(), the paper's Table II machine).
+func NewSuite(cfg sim.Config) *Suite {
+	return &Suite{cfg: cfg, results: make(map[key]sim.Result)}
+}
+
+// Config returns the suite's base configuration.
+func (s *Suite) Config() sim.Config { return s.cfg }
+
+// factory builds the controller factory and the cache codec override for
+// a policy. The returned highCap codec constructor replaces the HighCap
+// slot when non-nil (Static-BPC and the BDI+BPC LATTE variant).
+func factoryFor(p Policy, schedule []modes.Mode) (sim.ControllerFactory, func() compress.Codec, error) {
+	switch p {
+	case Uncompressed:
+		return func(int) modes.Controller {
+			return policy.NewStatic(modes.None, string(Uncompressed), latteEPLen, lattePeriod)
+		}, nil, nil
+	case StaticBDI:
+		return func(int) modes.Controller {
+			return policy.NewStatic(modes.LowLat, string(StaticBDI), latteEPLen, lattePeriod)
+		}, nil, nil
+	case StaticSC:
+		return func(int) modes.Controller {
+			return policy.NewStatic(modes.HighCap, string(StaticSC), latteEPLen, lattePeriod)
+		}, nil, nil
+	case StaticBPC:
+		return func(int) modes.Controller {
+			return policy.NewStatic(modes.HighCap, string(StaticBPC), latteEPLen, lattePeriod)
+		}, func() compress.Codec { return compress.NewBPC() }, nil
+	case LatteCC:
+		return func(n int) modes.Controller { return core.New(core.DefaultConfig(n)) }, nil, nil
+	case LatteBDIBPC:
+		return func(n int) modes.Controller {
+			cfg := core.DefaultConfig(n)
+			cfg.DecompLatency[modes.HighCap] = uint64(compress.NewBPC().DecompLatency())
+			return core.New(cfg)
+		}, func() compress.Codec { return compress.NewBPC() }, nil
+	case AdaptiveHits:
+		return func(n int) modes.Controller { return policy.NewAdaptiveHitCount(n) }, nil, nil
+	case AdaptiveCMP:
+		return func(n int) modes.Controller { return policy.NewAdaptiveCMP(n) }, nil, nil
+	case KernelOpt:
+		return func(int) modes.Controller {
+			return policy.NewScheduled(string(KernelOpt), schedule, latteEPLen, lattePeriod)
+		}, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("harness: unknown policy %q", p)
+	}
+}
+
+// Run simulates one (workload, policy, variant) combination, caching the
+// result. Kernel-OPT internally requires the three static runs of the
+// same variant; they are cached too.
+func (s *Suite) Run(workloadName string, p Policy, v Variant) (sim.Result, error) {
+	k := key{workload: workloadName, policy: p, variant: v}
+	s.mu.Lock()
+	if res, ok := s.results[k]; ok {
+		s.mu.Unlock()
+		return res, nil
+	}
+	s.mu.Unlock()
+
+	w, err := workload.ByName(workloadName)
+	if err != nil {
+		return sim.Result{}, err
+	}
+
+	var schedule []modes.Mode
+	if p == KernelOpt {
+		schedule, err = s.kernelOptSchedule(workloadName, v)
+		if err != nil {
+			return sim.Result{}, err
+		}
+	}
+
+	factory, highCap, err := factoryFor(p, schedule)
+	if err != nil {
+		return sim.Result{}, err
+	}
+
+	cfg := s.cfg
+	cfg.Cache.CapacityOnly = v.CapacityOnly
+	cfg.Cache.LatencyOnly = v.LatencyOnly
+	cfg.Cache.ExtraHitLatency = v.ExtraHitLatency
+	if v.SampleSeries {
+		cfg.SampleEvery = 512
+	}
+	if highCap != nil {
+		cfg.Cache.Codecs[modes.HighCap] = highCap()
+	}
+
+	res := sim.New(cfg, w, factory).Run()
+	res.Policy = string(p)
+
+	s.mu.Lock()
+	s.results[k] = res
+	s.mu.Unlock()
+	if s.Verbose {
+		fmt.Printf("  ran %-4s %-18s cycles=%9d ipc=%6.2f hit=%.3f\n",
+			workloadName, p, res.Cycles, res.IPC(), res.Cache.HitRate())
+	}
+	return res, nil
+}
+
+// MustRun is Run, panicking on error (experiment code paths where the
+// workload/policy names are compile-time constants).
+func (s *Suite) MustRun(workloadName string, p Policy, v Variant) sim.Result {
+	res, err := s.Run(workloadName, p, v)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// kernelOptSchedule builds the oracle per-kernel schedule: run the
+// workload once per static mode, then pick, for every kernel, the mode
+// with the fewest cycles (Section V-B).
+func (s *Suite) kernelOptSchedule(workloadName string, v Variant) ([]modes.Mode, error) {
+	statics := []struct {
+		p Policy
+		m modes.Mode
+	}{
+		{Uncompressed, modes.None},
+		{StaticBDI, modes.LowLat},
+		{StaticSC, modes.HighCap},
+	}
+	var runs []sim.Result
+	for _, st := range statics {
+		r, err := s.Run(workloadName, st.p, v)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, r)
+	}
+	nk := len(runs[0].Kernels)
+	schedule := make([]modes.Mode, 0, nk)
+	for ki := 0; ki < nk; ki++ {
+		best := modes.None
+		bestCycles := ^uint64(0)
+		for si, st := range statics {
+			if ki >= len(runs[si].Kernels) {
+				continue
+			}
+			if c := runs[si].Kernels[ki].Cycles; c < bestCycles {
+				bestCycles = c
+				best = st.m
+			}
+		}
+		schedule = append(schedule, best)
+	}
+	return schedule, nil
+}
+
+// Speedup returns policy p's speedup over the uncompressed baseline for a
+// workload (same variant for both runs).
+func (s *Suite) Speedup(workloadName string, p Policy, v Variant) (float64, error) {
+	base, err := s.Run(workloadName, Uncompressed, Variant{
+		ExtraHitLatency: 0, SampleSeries: false,
+	})
+	if err != nil {
+		return 0, err
+	}
+	run, err := s.Run(workloadName, p, v)
+	if err != nil {
+		return 0, err
+	}
+	if run.Cycles == 0 {
+		return 0, fmt.Errorf("harness: zero-cycle run for %s/%s", workloadName, p)
+	}
+	return float64(base.Cycles) / float64(run.Cycles), nil
+}
+
+// MissReduction returns the relative L1 miss reduction of policy p vs the
+// baseline (positive = fewer misses).
+func (s *Suite) MissReduction(workloadName string, p Policy) (float64, error) {
+	base, err := s.Run(workloadName, Uncompressed, Variant{})
+	if err != nil {
+		return 0, err
+	}
+	run, err := s.Run(workloadName, p, Variant{})
+	if err != nil {
+		return 0, err
+	}
+	if base.Cache.Misses == 0 {
+		return 0, nil
+	}
+	return 1 - float64(run.Cache.Misses)/float64(base.Cache.Misses), nil
+}
+
+// RunWorkload simulates a custom workload under a policy on the given
+// machine, uncached (custom workloads have no stable identity to key on).
+// Kernel-OPT is supported: the three static runs execute first.
+func RunWorkload(cfg sim.Config, w trace.Workload, p Policy) (sim.Result, error) {
+	var schedule []modes.Mode
+	if p == KernelOpt {
+		statics := []struct {
+			pol Policy
+			m   modes.Mode
+		}{{Uncompressed, modes.None}, {StaticBDI, modes.LowLat}, {StaticSC, modes.HighCap}}
+		var runs []sim.Result
+		for _, st := range statics {
+			f, hc, err := factoryFor(st.pol, nil)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			c := cfg
+			if hc != nil {
+				c.Cache.Codecs[modes.HighCap] = hc()
+			}
+			runs = append(runs, sim.New(c, w, f).Run())
+		}
+		nk := len(runs[0].Kernels)
+		for ki := 0; ki < nk; ki++ {
+			best := modes.None
+			bestCycles := ^uint64(0)
+			for si, st := range statics {
+				if ki < len(runs[si].Kernels) && runs[si].Kernels[ki].Cycles < bestCycles {
+					bestCycles = runs[si].Kernels[ki].Cycles
+					best = st.m
+				}
+			}
+			schedule = append(schedule, best)
+		}
+	}
+	factory, highCap, err := factoryFor(p, schedule)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if highCap != nil {
+		cfg.Cache.Codecs[modes.HighCap] = highCap()
+	}
+	res := sim.New(cfg, w, factory).Run()
+	res.Policy = string(p)
+	return res, nil
+}
+
+// Workloads lists all benchmark names in figure order.
+func Workloads() []string { return workload.Names() }
+
+// CSensNames lists the cache-sensitive benchmark names.
+func CSensNames() []string {
+	var out []string
+	for _, w := range workload.CSens() {
+		out = append(out, w.Name())
+	}
+	return out
+}
+
+// CInSensNames lists the cache-insensitive benchmark names.
+func CInSensNames() []string {
+	var out []string
+	for _, w := range workload.CInSens() {
+		out = append(out, w.Name())
+	}
+	return out
+}
+
+// Category returns a workload's category by name.
+func Category(name string) (trace.Category, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return 0, err
+	}
+	return w.Category(), nil
+}

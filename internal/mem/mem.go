@@ -1,0 +1,247 @@
+// Package mem models the GPU memory system below the L1 data caches: the
+// banked unified L2 cache, the DRAM channels, and the interconnect traffic
+// accounting. The model is latency-and-occupancy analytic rather than
+// cycle-stepped: every request computes its completion time from the
+// minimum latency plus queueing at the bank/channel it uses, which captures
+// the first-order contention effects (bandwidth saturation, bank camping)
+// that the paper's workloads exercise, without a per-cycle event loop.
+//
+// Table II parameters: 768KB unified L2, 128B lines, 8 ways, 12 banks,
+// minimum 120-cycle L2 access latency, minimum 230-cycle DRAM latency.
+package mem
+
+import "fmt"
+
+// Config describes the memory system.
+type Config struct {
+	LineSize int // cache line size in bytes
+
+	L2SizeBytes int    // total L2 capacity
+	L2Ways      int    // associativity
+	L2Banks     int    // number of independent banks
+	L2Latency   uint64 // minimum L1-miss-to-L2-data latency (incl. NoC)
+	L2Service   uint64 // bank occupancy per request (bandwidth model)
+
+	DRAMChannels int    // number of DRAM channels
+	DRAMLatency  uint64 // minimum additional latency for an L2 miss
+	DRAMService  uint64 // channel occupancy per request
+}
+
+// DefaultConfig returns the Table II configuration.
+func DefaultConfig() Config {
+	return Config{
+		LineSize:     128,
+		L2SizeBytes:  768 * 1024,
+		L2Ways:       8,
+		L2Banks:      12,
+		L2Latency:    120,
+		L2Service:    2,
+		DRAMChannels: 6,
+		DRAMLatency:  230,
+		DRAMService:  8,
+	}
+}
+
+// Stats counts memory-system events for performance and energy reporting.
+type Stats struct {
+	L2Accesses  uint64
+	L2Hits      uint64
+	L2Misses    uint64
+	L2Writes    uint64
+	DRAMReads   uint64
+	DRAMWrites  uint64
+	BytesL1L2   uint64 // interconnect traffic between SMs and L2
+	BytesL2DRAM uint64 // off-chip traffic
+}
+
+// System is the shared memory hierarchy below the per-SM L1 caches.
+type System struct {
+	cfg   Config
+	banks []*l2Bank
+	chans []uint64 // per-channel next-free cycle
+	stats Stats
+}
+
+// New creates a memory system; it panics on an inconsistent configuration
+// since configs are produced by this repository's own harness.
+func New(cfg Config) *System {
+	if cfg.LineSize <= 0 || cfg.L2Banks <= 0 || cfg.DRAMChannels <= 0 {
+		panic(fmt.Sprintf("mem: bad config %+v", cfg))
+	}
+	setsPerBank := cfg.L2SizeBytes / (cfg.LineSize * cfg.L2Ways * cfg.L2Banks)
+	if setsPerBank == 0 {
+		panic("mem: L2 too small for bank/way configuration")
+	}
+	s := &System{cfg: cfg, chans: make([]uint64, cfg.DRAMChannels)}
+	for i := 0; i < cfg.L2Banks; i++ {
+		s.banks = append(s.banks, newL2Bank(setsPerBank, cfg.L2Ways))
+	}
+	return s
+}
+
+// Stats returns a copy of the event counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Config returns the active configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Read services an L1 read miss for the line containing addr, issued at
+// cycle now, and returns the cycle at which the fill data arrives at the
+// L1. The line is installed in L2 on an L2 miss.
+func (s *System) Read(addr uint64, now uint64) uint64 {
+	line := addr / uint64(s.cfg.LineSize)
+	bank := s.banks[line%uint64(len(s.banks))]
+	s.stats.L2Accesses++
+	s.stats.BytesL1L2 += uint64(s.cfg.LineSize)
+
+	start := max64(now, bank.nextFree)
+	bank.nextFree = start + s.cfg.L2Service
+
+	local := line / uint64(len(s.banks))
+	if hit, _ := bank.access(local, false, false); hit {
+		s.stats.L2Hits++
+		return start + s.cfg.L2Latency
+	}
+	s.stats.L2Misses++
+	done := s.dramAccess(line, start+s.cfg.L2Latency, false)
+	if _, wb := bank.access(local, true, false); wb {
+		// Dirty victim: write-back occupies the DRAM channel but is off
+		// the read's critical path.
+		s.dramAccess(line, start+s.cfg.L2Latency, true)
+	}
+	return done
+}
+
+// Write services a store. The paper models L1 as write-avoid (Section
+// IV-C3), so stores bypass L1 and go straight to L2 (write-allocate).
+// The returned cycle is when the write is accepted; stores do not stall
+// the warp beyond issue in this model.
+func (s *System) Write(addr uint64, now uint64) uint64 {
+	line := addr / uint64(s.cfg.LineSize)
+	bank := s.banks[line%uint64(len(s.banks))]
+	s.stats.L2Accesses++
+	s.stats.L2Writes++
+	s.stats.BytesL1L2 += uint64(s.cfg.LineSize)
+
+	start := max64(now, bank.nextFree)
+	bank.nextFree = start + s.cfg.L2Service
+	local := line / uint64(len(s.banks))
+	if hit, _ := bank.access(local, false, true); hit {
+		s.stats.L2Hits++
+		return start + s.cfg.L2Service
+	}
+	s.stats.L2Misses++
+	// Write-allocate: fetch the line from DRAM, mark it dirty; the dirty
+	// data reaches DRAM later, when the line is written back on eviction.
+	s.dramAccess(line, start+s.cfg.L2Latency, false)
+	if _, wb := bank.access(local, true, true); wb {
+		s.dramAccess(line, start+s.cfg.L2Latency, true)
+	}
+	return start + s.cfg.L2Service
+}
+
+// dramAccess models one DRAM transaction starting no earlier than ready.
+func (s *System) dramAccess(line uint64, ready uint64, write bool) uint64 {
+	ch := int(line % uint64(len(s.chans)))
+	start := max64(ready, s.chans[ch])
+	s.chans[ch] = start + s.cfg.DRAMService
+	if write {
+		s.stats.DRAMWrites++
+	} else {
+		s.stats.DRAMReads++
+	}
+	s.stats.BytesL2DRAM += uint64(s.cfg.LineSize)
+	return start + s.cfg.DRAMLatency
+}
+
+// Reset clears cache contents, queue state, and statistics, so one System
+// can be reused across independent simulation runs.
+func (s *System) Reset() {
+	s.stats = Stats{}
+	for i := range s.chans {
+		s.chans[i] = 0
+	}
+	for _, b := range s.banks {
+		b.reset()
+	}
+}
+
+// l2Bank is one set-associative L2 bank with true-LRU replacement. Tags
+// are real so L2 hit rates reflect actual workload reuse, but no data is
+// stored (values live in the workload backing store).
+type l2Bank struct {
+	sets     [][]l2Way
+	nextFree uint64
+}
+
+type l2Way struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	lru   uint64
+}
+
+func newL2Bank(sets, ways int) *l2Bank {
+	b := &l2Bank{sets: make([][]l2Way, sets)}
+	for i := range b.sets {
+		b.sets[i] = make([]l2Way, ways)
+	}
+	return b
+}
+
+// access probes the bank for a line; if allocate is set, a miss installs
+// the line, evicting the LRU way. dirty marks the line modified (store).
+// It returns whether the line hit and whether a dirty victim was evicted
+// (the caller issues the write-back). The caller passes the bank-local
+// line number (global line / numBanks) so that all sets are reachable
+// regardless of the bank count.
+func (b *l2Bank) access(line uint64, allocate, dirty bool) (hit, wroteBack bool) {
+	setIdx := line % uint64(len(b.sets))
+	set := b.sets[setIdx]
+	var stamp uint64
+	victim := 0
+	for i := range set {
+		if set[i].lru > stamp {
+			stamp = set[i].lru
+		}
+	}
+	stamp++
+	oldest := ^uint64(0)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].lru = stamp
+			if dirty {
+				set[i].dirty = true
+			}
+			return true, false
+		}
+		if !set[i].valid {
+			oldest = 0
+			victim = i
+		} else if set[i].lru < oldest {
+			oldest = set[i].lru
+			victim = i
+		}
+	}
+	if allocate {
+		wroteBack = set[victim].valid && set[victim].dirty
+		set[victim] = l2Way{valid: true, dirty: dirty, tag: line, lru: stamp}
+	}
+	return false, wroteBack
+}
+
+func (b *l2Bank) reset() {
+	b.nextFree = 0
+	for i := range b.sets {
+		for j := range b.sets[i] {
+			b.sets[i][j] = l2Way{}
+		}
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,35 @@
+package modes
+
+import "testing"
+
+func TestModeStrings(t *testing.T) {
+	cases := map[Mode]string{
+		None:    "none",
+		LowLat:  "low-latency",
+		HighCap: "high-capacity",
+		Mode(9): "mode(9)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, m := range All() {
+		if !m.Valid() {
+			t.Errorf("%v must be valid", m)
+		}
+	}
+	if Mode(NumModes).Valid() {
+		t.Error("NumModes must not be a valid mode")
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	all := All()
+	if all[0] != None || all[1] != LowLat || all[2] != HighCap {
+		t.Fatalf("All() order = %v; decision priority depends on it", all)
+	}
+}

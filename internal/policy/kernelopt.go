@@ -1,0 +1,90 @@
+package policy
+
+import (
+	"lattecc/internal/core"
+	"lattecc/internal/modes"
+)
+
+// Scheduled is a controller that applies a fixed compression mode per
+// kernel, switching at kernel boundaries. It is the execution half of the
+// Kernel-OPT oracle (Section V-B): the harness first measures each kernel
+// under every static mode, builds the per-kernel argmin schedule, and
+// replays it through this controller. Such a policy cannot exist in real
+// hardware — it uses oracle knowledge from the end of each kernel — but
+// serves as the paper's reference point for coarse-grained adaptation.
+type Scheduled struct {
+	name     string
+	schedule []modes.Mode
+	kernel   int
+
+	// High-capacity code-book maintenance, as in Static.
+	epLen     uint64
+	epsPerPer uint64
+	accesses  uint64
+}
+
+var _ modes.Controller = (*Scheduled)(nil)
+
+// NewScheduled returns a controller replaying the given per-kernel modes.
+// Kernels beyond the schedule use the last entry.
+func NewScheduled(name string, schedule []modes.Mode, epLen, epsPerPeriod uint64) *Scheduled {
+	if len(schedule) == 0 {
+		schedule = []modes.Mode{modes.None}
+	}
+	return &Scheduled{name: name, schedule: schedule, epLen: epLen, epsPerPer: epsPerPeriod}
+}
+
+// Name implements modes.Controller.
+func (s *Scheduled) Name() string { return s.name }
+
+// KernelStart is called by the simulator at each kernel boundary.
+func (s *Scheduled) KernelStart(idx int) { s.kernel = idx }
+
+// CurrentMode implements modes.Snapshotter.
+func (s *Scheduled) CurrentMode() modes.Mode {
+	i := s.kernel
+	if i >= len(s.schedule) {
+		i = len(s.schedule) - 1
+	}
+	return s.schedule[i]
+}
+
+// InsertMode implements modes.Controller.
+func (s *Scheduled) InsertMode(int) modes.Mode { return s.CurrentMode() }
+
+// RecordAccess implements modes.Controller, maintaining the high-capacity
+// code book on the same period cadence as the other policies.
+func (s *Scheduled) RecordAccess(int, bool, modes.Mode, uint64, uint64) modes.Directive {
+	s.accesses++
+	if s.accesses == s.epLen {
+		return modes.Directive{RebuildHighCap: true}
+	}
+	if s.accesses%(s.epLen*s.epsPerPer) == 0 {
+		return modes.Directive{FlushHighCap: true, RebuildHighCap: true}
+	}
+	return modes.Directive{}
+}
+
+// RecordMissLatency implements modes.Controller (unused).
+func (s *Scheduled) RecordMissLatency(uint64) {}
+
+// RecordTolerance implements modes.Controller (unused).
+func (s *Scheduled) RecordTolerance(float64) {}
+
+// NewAdaptiveHitCount returns the Figure 17 Adaptive-Hit-Count baseline:
+// LATTE-CC's sampling machinery with a decision that only maximizes hit
+// counts (minimizes misses), blind to latency.
+func NewAdaptiveHitCount(numSets int) *core.Controller {
+	cfg := core.DefaultConfig(numSets)
+	cfg.Decision = core.DecisionHitCount
+	return core.New(cfg)
+}
+
+// NewAdaptiveCMP returns the Figure 17 Adaptive-CMP baseline
+// (Alameldeen-style): decompression-latency aware via conventional AMAT,
+// but oblivious to the GPU's latency tolerance.
+func NewAdaptiveCMP(numSets int) *core.Controller {
+	cfg := core.DefaultConfig(numSets)
+	cfg.Decision = core.DecisionCMP
+	return core.New(cfg)
+}

@@ -1,0 +1,230 @@
+// Package sim is the cycle-level GPU model: streaming multiprocessors with
+// greedy-then-oldest warp schedulers, per-SM compressed L1 data caches,
+// MSHRs, a load-store unit with bounded L1 bandwidth, and the shared
+// L2/DRAM system of package mem. It substitutes for GPGPU-Sim in the
+// paper's methodology (see DESIGN.md).
+package sim
+
+import (
+	"fmt"
+
+	"lattecc/internal/cache"
+	"lattecc/internal/mem"
+	"lattecc/internal/modes"
+	"lattecc/internal/stats"
+	"lattecc/internal/trace"
+)
+
+// KernelResult records one kernel's execution interval.
+type KernelResult struct {
+	Name   string
+	Cycles uint64
+	Start  uint64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Policy       string
+	Workload     string
+	Cycles       uint64
+	Instructions uint64
+
+	Cache cache.Stats // aggregated over SMs
+	Mem   mem.Stats
+
+	Kernels []KernelResult
+
+	// LoadTxns/StoreTxns count coalesced L1/LSU transactions.
+	LoadTxns  uint64
+	StoreTxns uint64
+	// MSHRStallCycles counts LSU head-of-line blocking on full MSHRs.
+	MSHRStallCycles uint64
+
+	// ToleranceSeries and CapacitySeries sample SM0 over time when
+	// Config.SampleEvery > 0 (Figures 5 and 16).
+	ToleranceSeries *stats.Series
+	CapacitySeries  *stats.Series
+
+	// ModeEPs aggregates, across SMs, how many adaptive EPs each mode won
+	// (zero for non-adaptive controllers).
+	ModeEPs [modes.NumModes]uint64
+	// EPLog is SM0's per-EP decision log (Figure 15 agreement analysis);
+	// EPKernels gives the kernel index of each entry.
+	EPLog     []modes.Mode
+	EPKernels []int32
+	// Switches counts mode changes across all SMs.
+	Switches uint64
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Sim drives one workload through the configured GPU.
+type Sim struct {
+	cfg  Config
+	mem  *mem.System
+	sms  []*sm
+	work trace.Workload
+}
+
+// New builds a simulator for one workload. factory builds the compression
+// controller for each SM (use the same policy for all SMs, as the paper
+// does).
+func New(cfg Config, work trace.Workload, factory ControllerFactory) *Sim {
+	cfg.Validate()
+	m := mem.New(cfg.Mem)
+	s := &Sim{cfg: cfg, mem: m, work: work}
+	numSets := cfg.Cache.SizeBytes / (cfg.Cache.LineSize * cfg.Cache.Ways)
+	data := work.Data()
+	for i := 0; i < cfg.NumSMs; i++ {
+		cacheCfg := cfg.Cache
+		cacheCfg.Codecs = cfg.freshCodecs()
+		ctrl := factory(numSets)
+		s.sms = append(s.sms, newSM(i, &s.cfg, ctrl, cacheCfg, m, data))
+	}
+	return s
+}
+
+// Run executes every kernel of the workload and returns the result.
+func (s *Sim) Run() Result {
+	res := Result{
+		Workload: s.work.Name(),
+		Policy:   s.sms[0].ctrl.Name(),
+	}
+	if s.cfg.SampleEvery > 0 {
+		res.ToleranceSeries = stats.NewSeries("tolerance", 4096)
+		res.CapacitySeries = stats.NewSeries("effective-capacity", 4096)
+	}
+
+	now := uint64(0)
+	var totalInsts uint64
+	budgetExhausted := false
+
+	for ki, k := range s.work.Kernels() {
+		k.Validate()
+		if budgetExhausted {
+			break
+		}
+		for _, m := range s.sms {
+			if ks, ok := m.ctrl.(interface{ KernelStart(int) }); ok {
+				ks.KernelStart(ki)
+			}
+		}
+		start := now
+		nextBlock := 0
+
+		// Initial wave: fill every SM as far as occupancy allows.
+		dispatch := func() {
+			for nextBlock < k.Blocks {
+				launched := false
+				for _, m := range s.sms {
+					if nextBlock >= k.Blocks {
+						break
+					}
+					if m.launchBlock(k, nextBlock) {
+						nextBlock++
+						launched = true
+					}
+				}
+				if !launched {
+					return
+				}
+			}
+		}
+		dispatch()
+
+		for {
+			busy := false
+			var cycleInsts uint64
+			for _, m := range s.sms {
+				cycleInsts += m.tick(now)
+				if m.busy() {
+					busy = true
+				}
+			}
+			totalInsts += cycleInsts
+			now++
+
+			if nextBlock < k.Blocks {
+				dispatch()
+				busy = true
+			}
+			if s.cfg.SampleEvery > 0 && now%s.cfg.SampleEvery == 0 {
+				sm0 := s.sms[0]
+				res.ToleranceSeries.Add(now, sm0.lastTolerance)
+				res.CapacitySeries.Add(now, sm0.l1.EffectiveCapacityRatio())
+			}
+			if totalInsts >= s.cfg.MaxInstructions {
+				for _, m := range s.sms {
+					m.forceFinish()
+				}
+				budgetExhausted = true
+				break
+			}
+			if now >= s.cfg.MaxCycles {
+				panic(fmt.Sprintf("sim: cycle guard exceeded (%d cycles, %d insts, workload %s)",
+					now, totalInsts, s.work.Name()))
+			}
+			if !busy {
+				break
+			}
+		}
+
+		res.Kernels = append(res.Kernels, KernelResult{Name: k.Name, Cycles: now - start, Start: start})
+		for _, m := range s.sms {
+			m.compactWarps()
+			if s.cfg.FlushL1AtKernelBoundary {
+				m.l1.Flush()
+			}
+		}
+	}
+
+	res.Cycles = now
+	res.Instructions = totalInsts
+	res.Mem = s.mem.Stats()
+	for i, m := range s.sms {
+		cs := m.l1.Stats()
+		res.Cache.Accesses += cs.Accesses
+		res.Cache.Hits += cs.Hits
+		res.Cache.Misses += cs.Misses
+		res.Cache.CompressedHits += cs.CompressedHits
+		res.Cache.DecompWait += cs.DecompWait
+		res.Cache.DecompBusy += cs.DecompBusy
+		res.Cache.Evictions += cs.Evictions
+		res.Cache.Fills += cs.Fills
+		res.Cache.FlushedLines += cs.FlushedLines
+		res.Cache.UncompressedSize += cs.UncompressedSize
+		res.Cache.CompressedSize += cs.CompressedSize
+		for mo := range cs.InsertsByMode {
+			res.Cache.InsertsByMode[mo] += cs.InsertsByMode[mo]
+			res.Cache.HitsByMode[mo] += cs.HitsByMode[mo]
+			res.Cache.SubBlocksByMode[mo] += cs.SubBlocksByMode[mo]
+		}
+		res.LoadTxns += m.loadTxns
+		res.StoreTxns += m.storeTxns
+		res.MSHRStallCycles += m.stallMSHR
+
+		if lc, ok := m.ctrl.(interface {
+			EPsInMode() [modes.NumModes]uint64
+			EPLog() []modes.Mode
+			EPKernels() []int32
+			Switches() uint64
+		}); ok {
+			eps := lc.EPsInMode()
+			for mo := range eps {
+				res.ModeEPs[mo] += eps[mo]
+			}
+			res.Switches += lc.Switches()
+			if i == 0 {
+				res.EPLog = lc.EPLog()
+				res.EPKernels = lc.EPKernels()
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,487 @@
+package sim
+
+import (
+	"container/heap"
+
+	"lattecc/internal/cache"
+	"lattecc/internal/mem"
+	"lattecc/internal/modes"
+	"lattecc/internal/trace"
+)
+
+// warp is one resident warp's execution state.
+type warp struct {
+	id        int
+	sched     int // owning scheduler
+	blockSlot int
+	prog      trace.Program
+	cur       trace.Inst
+	hasCur    bool
+	done      bool
+
+	nextFree     uint64 // cycle at which the warp may issue again
+	blockedOnMem bool   // waiting for an in-flight memory request
+	atBarrier    bool   // waiting for the rest of its thread block
+	insts        uint64
+}
+
+// ready reports whether the warp can issue at cycle now.
+func (w *warp) ready(now uint64) bool {
+	return !w.done && !w.blockedOnMem && !w.atBarrier && w.nextFree <= now
+}
+
+// memReq is a warp memory instruction draining through the LSU: its
+// remaining coalesced transactions and the latest data-ready time so far.
+type memReq struct {
+	w        *warp
+	addrs    []uint64
+	next     int
+	readyMax uint64
+	isStore  bool
+}
+
+// fillEvent is a pending L1 fill (miss response).
+type fillEvent struct {
+	at       uint64
+	lineAddr uint64
+}
+
+type fillHeap []fillEvent
+
+func (h fillHeap) Len() int            { return len(h) }
+func (h fillHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h fillHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *fillHeap) Push(x interface{}) { *h = append(*h, x.(fillEvent)) }
+func (h *fillHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// blockSlot tracks one resident thread block.
+type blockSlot struct {
+	active    bool
+	remaining int // warps not yet done
+	atBarrier int // warps currently waiting at the block barrier
+}
+
+// schedState is one warp scheduler's GTO and tolerance-probe state.
+type schedState struct {
+	lastWarp int // id of the last issued warp (-1 initially)
+
+	// Equation 4 accumulators over the tolerance window.
+	readySum uint64 // sum over cycles of (ready warps - 1 issuing), clamped at 0
+	issues   uint64
+	switches uint64
+}
+
+// sm is one streaming multiprocessor.
+type sm struct {
+	id     int
+	cfg    *Config
+	l1     *cache.Cache
+	ctrl   modes.Controller
+	mem    *mem.System
+	data   trace.DataSource
+	warps  []*warp
+	slots  []blockSlot
+	scheds []schedState
+
+	lsu   []*memReq         // FIFO of draining memory instructions
+	mshr  map[uint64]uint64 // lineAddr -> fill completion cycle
+	fills fillHeap
+
+	hitSample uint64 // hit counter for VFT sampling
+
+	// probe window bookkeeping
+	windowStart   uint64
+	lastTolerance float64
+	nextWarpID    int
+
+	instructions uint64
+	loadTxns     uint64
+	storeTxns    uint64
+	stallMSHR    uint64
+}
+
+func newSM(id int, cfg *Config, ctrl modes.Controller, cacheCfg cache.Config, m *mem.System, data trace.DataSource) *sm {
+	s := &sm{
+		id:     id,
+		cfg:    cfg,
+		ctrl:   ctrl,
+		mem:    m,
+		data:   data,
+		l1:     cache.New(cacheCfg, ctrl),
+		slots:  make([]blockSlot, cfg.MaxBlocksPerSM),
+		scheds: make([]schedState, cfg.SchedulersPerSM),
+		mshr:   make(map[uint64]uint64),
+	}
+	for i := range s.scheds {
+		s.scheds[i].lastWarp = -1
+	}
+	return s
+}
+
+// freeWarpSlots returns how many more warps the SM can host.
+func (s *sm) freeWarpSlots() int {
+	return s.cfg.MaxWarpsPerSM - len(s.warps)
+}
+
+// freeBlockSlot returns an inactive block slot index or -1.
+func (s *sm) freeBlockSlot() int {
+	for i := range s.slots {
+		if !s.slots[i].active {
+			return i
+		}
+	}
+	return -1
+}
+
+// launchBlock installs a block's warps onto the SM.
+func (s *sm) launchBlock(k trace.Kernel, block int) bool {
+	slot := s.freeBlockSlot()
+	if slot < 0 || s.freeWarpSlots() < k.WarpsPerBlock {
+		return false
+	}
+	s.slots[slot] = blockSlot{active: true, remaining: k.WarpsPerBlock}
+	for wi := 0; wi < k.WarpsPerBlock; wi++ {
+		w := &warp{
+			id:        s.nextWarpID,
+			sched:     s.nextWarpID % s.cfg.SchedulersPerSM,
+			blockSlot: slot,
+			prog:      k.Program(block, wi),
+		}
+		s.nextWarpID++
+		s.warps = append(s.warps, w)
+	}
+	return true
+}
+
+// compactWarps drops retired warps so the scheduler scan stays O(resident).
+func (s *sm) compactWarps() {
+	live := s.warps[:0]
+	for _, w := range s.warps {
+		if !w.done {
+			live = append(live, w)
+		}
+	}
+	s.warps = live
+}
+
+// busy reports whether the SM still has work (live warps or in-flight
+// memory activity).
+func (s *sm) busy() bool {
+	if len(s.lsu) > 0 || len(s.fills) > 0 {
+		return true
+	}
+	for _, w := range s.warps {
+		if !w.done {
+			return true
+		}
+	}
+	return false
+}
+
+// tick advances the SM by one cycle. It returns the number of
+// instructions issued this cycle.
+func (s *sm) tick(now uint64) uint64 {
+	s.applyFills(now)
+	s.drainLSU(now)
+	issued := s.schedule(now)
+	s.probeTolerance(now)
+	return issued
+}
+
+// applyFills installs miss responses whose data has arrived.
+func (s *sm) applyFills(now uint64) {
+	for len(s.fills) > 0 && s.fills[0].at <= now {
+		ev := heap.Pop(&s.fills).(fillEvent)
+		delete(s.mshr, ev.lineAddr)
+		lineSize := uint64(s.cfg.Cache.LineSize)
+		s.l1.Fill(ev.lineAddr*lineSize, s.data.Line(ev.lineAddr), now)
+	}
+}
+
+// drainLSU processes up to L1Ports transactions from the LSU queue.
+func (s *sm) drainLSU(now uint64) {
+	budget := s.cfg.L1Ports
+	for budget > 0 && len(s.lsu) > 0 {
+		req := s.lsu[0]
+		if req.isStore {
+			if s.cfg.Trace != nil {
+				s.cfg.Trace.Record(s.id, now, req.addrs[req.next], true)
+			}
+			if s.cfg.WriteThroughL1 {
+				// Write-through: a write hit updates (and expands) the
+				// cached copy before the store proceeds to L2.
+				s.l1.WriteTouch(req.addrs[req.next], now)
+			}
+			// Stores always go to L2 (write-avoid bypasses L1 entirely,
+			// Section IV-C3).
+			s.mem.Write(req.addrs[req.next], now)
+			s.storeTxns++
+			req.next++
+		} else {
+			if !s.loadTxn(req, now) {
+				// MSHR full: head-of-line block until entries free up.
+				s.stallMSHR++
+				return
+			}
+			s.loadTxns++
+			req.next++
+		}
+		budget--
+		if req.next >= len(req.addrs) {
+			s.lsu = s.lsu[1:]
+			if !req.isStore {
+				w := req.w
+				w.blockedOnMem = false
+				w.nextFree = req.readyMax
+			}
+		}
+	}
+}
+
+// loadTxn performs one load transaction; it returns false if the
+// transaction needs an MSHR and none is free.
+func (s *sm) loadTxn(req *memReq, now uint64) bool {
+	addr := req.addrs[req.next]
+	lineSize := uint64(s.cfg.Cache.LineSize)
+	lineAddr := addr / lineSize
+
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Record(s.id, now, addr, false)
+	}
+	res := s.l1.Access(addr, now)
+	if res.Hit {
+		if res.Ready > req.readyMax {
+			req.readyMax = res.Ready
+		}
+		// Sample hit values into the high-capacity VFT (1 in 16 hits):
+		// the table tracks value *use* frequency, and hit-dominated
+		// phases would otherwise never refresh it.
+		s.hitSample++
+		if s.hitSample&0xF == 0 {
+			s.l1.TrainHighCap(s.data.Line(lineAddr))
+		}
+		return true
+	}
+	// Miss: merge into an in-flight fetch if one exists.
+	if fillAt, ok := s.mshr[lineAddr]; ok {
+		ready := fillAt + s.cfg.Cache.HitLatency
+		if ready > req.readyMax {
+			req.readyMax = ready
+		}
+		return true
+	}
+	if len(s.mshr) >= s.cfg.MSHRs {
+		return false
+	}
+	fillAt := s.mem.Read(addr, now)
+	s.mshr[lineAddr] = fillAt
+	heap.Push(&s.fills, fillEvent{at: fillAt, lineAddr: lineAddr})
+	s.ctrl.RecordMissLatency(fillAt - now)
+	ready := fillAt + s.cfg.Cache.HitLatency
+	if ready > req.readyMax {
+		req.readyMax = ready
+	}
+	return true
+}
+
+// schedule runs each warp scheduler once (one issue per scheduler per
+// cycle, Table II: 2 schedulers per SM).
+func (s *sm) schedule(now uint64) uint64 {
+	var issued uint64
+	for si := range s.scheds {
+		st := &s.scheds[si]
+
+		// Tolerance probe: ready warps on this scheduler.
+		ready := 0
+		var pick *warp
+		var last *warp
+		var nextAfterLast *warp
+		for _, w := range s.warps {
+			if w.sched != si || !w.ready(now) {
+				continue
+			}
+			ready++
+			if w.id == st.lastWarp {
+				last = w
+			}
+			if nextAfterLast == nil && w.id > st.lastWarp {
+				nextAfterLast = w
+			}
+			if pick == nil {
+				pick = w // oldest ready (warps are in age order)
+			}
+		}
+		if ready > 0 {
+			st.readySum += uint64(ready - 1)
+		}
+		switch s.cfg.Scheduler {
+		case SchedRR:
+			// Round-robin: the first ready warp after the last issued
+			// one, wrapping to the oldest.
+			if nextAfterLast != nil {
+				pick = nextAfterLast
+			}
+		default:
+			// Greedy-then-oldest: stick with the last warp while ready.
+			if last != nil {
+				pick = last
+			}
+		}
+		if pick == nil {
+			continue
+		}
+		if pick.id != st.lastWarp {
+			st.switches++
+			st.lastWarp = pick.id
+		}
+		if s.issue(pick, now) {
+			st.issues++
+			issued++
+		}
+	}
+	return issued
+}
+
+// issue executes one instruction from the warp; it returns false when the
+// warp had no instruction left (it retires instead).
+func (s *sm) issue(w *warp, now uint64) bool {
+	if !w.hasCur {
+		inst, ok := w.prog.Next()
+		if !ok {
+			s.retire(w)
+			return false
+		}
+		w.cur, w.hasCur = inst, true
+	}
+	inst := w.cur
+	w.hasCur = false
+	w.insts++
+	s.instructions++
+
+	switch inst.Op {
+	case trace.OpALU:
+		lat := uint64(inst.Lat)
+		if lat == 0 {
+			lat = 1
+		}
+		w.nextFree = now + lat
+	case trace.OpLoad:
+		if len(inst.Addrs) == 0 {
+			w.nextFree = now + 1
+			return true
+		}
+		w.blockedOnMem = true
+		s.lsu = append(s.lsu, &memReq{w: w, addrs: inst.Addrs})
+	case trace.OpStore:
+		w.nextFree = now + 1
+		if len(inst.Addrs) > 0 {
+			s.lsu = append(s.lsu, &memReq{w: w, addrs: inst.Addrs, isStore: true})
+		}
+	case trace.OpBarrier:
+		s.arriveBarrier(w, now)
+	default:
+		w.nextFree = now + 1
+	}
+	return true
+}
+
+// arriveBarrier parks the warp at its block's barrier, releasing the
+// whole block once every live warp has arrived.
+func (s *sm) arriveBarrier(w *warp, now uint64) {
+	slot := &s.slots[w.blockSlot]
+	w.atBarrier = true
+	slot.atBarrier++
+	if slot.atBarrier < slot.remaining {
+		return
+	}
+	// Last arrival: release everyone next cycle.
+	slot.atBarrier = 0
+	for _, o := range s.warps {
+		if !o.done && o.blockSlot == w.blockSlot && o.atBarrier {
+			o.atBarrier = false
+			o.nextFree = now + 1
+		}
+	}
+}
+
+// retire marks a warp finished and frees its block slot when the whole
+// block has drained.
+func (s *sm) retire(w *warp) {
+	if w.done {
+		return
+	}
+	w.done = true
+	slot := &s.slots[w.blockSlot]
+	slot.remaining--
+	if slot.remaining == 0 {
+		slot.active = false
+		s.compactWarps() // free warp slots so waiting blocks can launch
+		return
+	}
+	// A warp can retire while siblings wait at a barrier (divergent exit);
+	// if it was the last one missing, release the block.
+	if slot.atBarrier > 0 && slot.atBarrier >= slot.remaining {
+		slot.atBarrier = 0
+		for _, o := range s.warps {
+			if !o.done && o.blockSlot == w.blockSlot && o.atBarrier {
+				o.atBarrier = false
+				o.nextFree = 0
+			}
+		}
+	}
+}
+
+// forceFinish terminates all warps (instruction budget exhausted).
+func (s *sm) forceFinish() {
+	for _, w := range s.warps {
+		if !w.done {
+			s.retire(w)
+		}
+	}
+	s.lsu = nil
+}
+
+// probeTolerance folds the Equation 4 terms into the controller at window
+// boundaries:
+//
+//	latency_tolerance = avg_warps_available × avg_execution_cycles_per_schedule
+//
+// For a GTO scheduler, a stalled warp is covered for roughly (other ready
+// warps) × (cycles each runs before switching) cycles. With a round-robin
+// scheduler the run length is 1 and the estimate degenerates to the ready
+// warp count, matching the paper's Section III-B2 discussion.
+func (s *sm) probeTolerance(now uint64) {
+	if now < s.windowStart+s.cfg.ToleranceWindow {
+		return
+	}
+	window := float64(now - s.windowStart)
+	if window <= 0 {
+		window = 1
+	}
+	var tol float64
+	for si := range s.scheds {
+		st := &s.scheds[si]
+		avgReady := float64(st.readySum) / window
+		execPerSched := 1.0
+		if st.switches > 0 {
+			execPerSched = float64(st.issues) / float64(st.switches)
+		}
+		t := avgReady * execPerSched
+		if t > tol {
+			tol = t
+		}
+		st.readySum, st.issues, st.switches = 0, 0, 0
+	}
+	if tol > s.cfg.ToleranceCap {
+		tol = s.cfg.ToleranceCap
+	}
+	s.ctrl.RecordTolerance(tol)
+	s.lastTolerance = tol
+	s.windowStart = now
+}

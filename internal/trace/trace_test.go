@@ -1,0 +1,77 @@
+package trace
+
+import "testing"
+
+func TestSliceProgram(t *testing.T) {
+	insts := []Inst{
+		{Op: OpALU, Lat: 2},
+		{Op: OpLoad, Addrs: []uint64{128}},
+		{Op: OpStore, Addrs: []uint64{256}},
+	}
+	p := NewSliceProgram(insts)
+	for i, want := range insts {
+		got, ok := p.Next()
+		if !ok {
+			t.Fatalf("program ended early at %d", i)
+		}
+		if got.Op != want.Op || got.Lat != want.Lat {
+			t.Fatalf("inst %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := p.Next(); ok {
+		t.Fatal("program must end after the slice")
+	}
+	if _, ok := p.Next(); ok {
+		t.Fatal("ended programs must stay ended")
+	}
+}
+
+func TestFuncProgram(t *testing.T) {
+	n := 0
+	p := FuncProgram(func() (Inst, bool) {
+		if n >= 3 {
+			return Inst{}, false
+		}
+		n++
+		return Inst{Op: OpALU}, true
+	})
+	count := 0
+	for {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("got %d insts, want 3", count)
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	good := Kernel{Name: "k", Blocks: 1, WarpsPerBlock: 1,
+		Program: func(int, int) Program { return NewSliceProgram(nil) }}
+	good.Validate() // must not panic
+
+	bad := []Kernel{
+		{Name: "no-blocks", WarpsPerBlock: 1, Program: good.Program},
+		{Name: "no-warps", Blocks: 1, Program: good.Program},
+		{Name: "no-program", Blocks: 1, WarpsPerBlock: 1},
+	}
+	for _, k := range bad {
+		k := k
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("kernel %q must fail validation", k.Name)
+				}
+			}()
+			k.Validate()
+		}()
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CSens.String() != "C-Sens" || CInSens.String() != "C-InSens" {
+		t.Fatal("category strings must match the paper's abbreviations")
+	}
+}

@@ -1,0 +1,229 @@
+package workload
+
+import "lattecc/internal/trace"
+
+// ---------------------------------------------------------------------
+// Cache-sensitive workloads (Table III lower block). All of them have
+// working sets that overflow the 16KB baseline L1 but compress into it
+// (or closer to it), so compression mode choice moves performance by
+// tens of percent. They differ in which value locality their data
+// exhibits (deciding BDI vs SC vs BPC) and how much latency tolerance
+// their warp behaviour leaves (deciding whether decompression is
+// affordable).
+//
+// Calibration notes (probe data in EXPERIMENTS.md):
+//   - per-SM resident working set 2-3x the 16KB L1 → baseline thrashes;
+//   - aggregate touched footprint near or beyond the 768KB L2 for the
+//     high-occupancy workloads → misses are DRAM-expensive;
+//   - low-occupancy workloads (FW, BC) expose even L2-latency misses
+//     because nothing covers the stall.
+// ---------------------------------------------------------------------
+
+// BC models Betweenness Centrality: graph arrays with strong spatial
+// value locality (BDI's case) accessed with little arithmetic between
+// loads and mild divergence — low latency tolerance. The paper reports
+// BDI helping and SC's 14-cycle latency costing ~22%.
+func BC() *Spec {
+	return &Spec{
+		WName: "BC", Cat: trace.CSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 14, Style: StyleStrideInt, Seed: 0xBC0},
+			{Start: 1 << 15, Lines: 1 << 13, Style: StyleSmallInt, Seed: 0xBC1},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "bc", Blocks: 30, WarpsPerBlock: 4,
+			Phases: []Phase{
+				{Kind: PhaseReuse, Region: 0, Iters: 2500, ALU: 1, WSLines: 40},
+				{Kind: PhaseRandom, Region: 1, Iters: 300, ALU: 1, Divergence: 2},
+			},
+		}},
+	}
+}
+
+// CLR models Graph Coloring: BDI/BPC-friendly adjacency data, medium
+// occupancy — Figure 1 shows CLR tolerating up to ~9 extra cycles, so
+// low-latency compression is free but SC is marginal.
+func CLR() *Spec {
+	return &Spec{
+		WName: "CLR", Cat: trace.CSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 14, Style: StyleStrideInt, Seed: 0xC18},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "coloring", Blocks: 45, WarpsPerBlock: 6,
+			Phases: []Phase{
+				{Kind: PhaseReuse, Region: 0, Iters: 1500, ALU: 2, WSLines: 18},
+				{Kind: PhaseRandom, Region: 0, Iters: 200, ALU: 2},
+			},
+		}},
+	}
+}
+
+// FW models Floyd-Warshall: a distance matrix walked with almost no
+// arithmetic per load and few resident warps — the paper's least
+// latency-tolerant workload (47% degradation under SC's latency) and a
+// clear BDI winner.
+func FW() *Spec {
+	return &Spec{
+		WName: "FW", Cat: trace.CSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 14, Style: StyleStrideInt, Seed: 0xF3},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "floyd-warshall", Blocks: 15, WarpsPerBlock: 4,
+			Phases: []Phase{
+				{Kind: PhaseReuse, Region: 0, Iters: 6000, ALU: 2, WSLines: 40},
+			},
+		}},
+	}
+}
+
+// DJK models Dijkstra-ALL: pointer-valued edge lists plus small-integer
+// distance arrays, BDI-friendly, moderate occupancy and tolerance.
+func DJK() *Spec {
+	return &Spec{
+		WName: "DJK", Cat: trace.CSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 14, Style: StylePointer, Seed: 0xD7},
+			{Start: 1 << 15, Lines: 1 << 13, Style: StyleSmallInt, Seed: 0xD8},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "dijkstra", Blocks: 30, WarpsPerBlock: 6,
+			Phases: []Phase{
+				{Kind: PhaseReuse, Region: 0, Iters: 1500, ALU: 1, WSLines: 24},
+				{Kind: PhaseRandom, Region: 1, Iters: 250, ALU: 1},
+			},
+		}},
+	}
+}
+
+// MIS models Maximal Independent Set: BPC-affine numeric data (Figure 2
+// lists MIS among the BPC-preferring workloads), medium tolerance
+// (Figure 1: tolerates ~9 cycles).
+func MIS() *Spec {
+	return &Spec{
+		WName: "MIS", Cat: trace.CSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 14, Style: StyleExpFloat, Seed: 0x315},
+			{Start: 1 << 15, Lines: 1 << 13, Style: StyleStrideInt, Seed: 0x316},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "mis", Blocks: 45, WarpsPerBlock: 6,
+			Phases: []Phase{
+				{Kind: PhaseReuse, Region: 0, Iters: 1100, ALU: 2, WSLines: 16},
+				{Kind: PhaseReuse, Region: 1, Iters: 400, ALU: 2, WSLines: 6},
+			},
+		}},
+	}
+}
+
+// PF models Particle Filter: floating-point particle state with spatial
+// structure that BPC exploits far better than BDI (Figure 2) — the
+// workload that motivates the LATTE-CC-BDI-BPC variant (Figure 18).
+func PF() *Spec {
+	return &Spec{
+		WName: "PF", Cat: trace.CSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 14, Style: StyleExpFloat, Seed: 0x9F},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "particlefilter", Blocks: 30, WarpsPerBlock: 6,
+			Phases: []Phase{
+				{Kind: PhaseReuse, Region: 0, Iters: 1800, ALU: 2, WSLines: 20},
+			},
+		}},
+	}
+}
+
+// PRK models PageRank (SPMV): rank vectors full of repeated FP values
+// (SC's case) streamed under very high warp-level parallelism — Figure 1
+// shows PRK shrugging off even +14 cycles of hit latency, so the
+// high-capacity mode is the right choice almost always.
+func PRK() *Spec {
+	return &Spec{
+		WName: "PRK", Cat: trace.CSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 15, Style: StyleDictFloat, Seed: 0x12A, Dict: 96},
+			{Start: 1 << 16, Lines: 1 << 14, Style: StyleStrideInt, Seed: 0x12B},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "pagerank", Blocks: 60, WarpsPerBlock: 8,
+			Phases: []Phase{
+				{Kind: PhaseReuse, Region: 0, Iters: 1000, ALU: 3, WSLines: 20},
+				{Kind: PhaseRandom, Region: 1, Iters: 250, ALU: 3, Divergence: 2},
+			},
+		}},
+	}
+}
+
+// timeVaryingPhases builds the alternating high/low-tolerance structure
+// shared by the paper's fine-grained-adaptation showcases (SS, KM, MM):
+// arithmetic-dense phases where even SC's latency hides completely,
+// interleaved with load-dominated phases where decompression throttles
+// the pipeline. A kernel-granularity oracle must pick one mode for all
+// of it; LATTE-CC re-decides every EP (Section V-C).
+func timeVaryingPhases(hiIters, loIters, rounds, hiWS, loWS int) []Phase {
+	var ph []Phase
+	for r := 0; r < rounds; r++ {
+		ph = append(ph,
+			// High tolerance: deep ALU cover per load, overflowing set.
+			Phase{Kind: PhaseReuse, Region: 0, Iters: hiIters, ALU: 6, WSLines: hiWS},
+			// Low tolerance: back-to-back dependent loads on a hot set.
+			Phase{Kind: PhaseReuse, Region: 0, Iters: loIters, ALU: 0, WSLines: loWS},
+		)
+	}
+	return ph
+}
+
+// SS models Similarity Score: the paper's illustrating application
+// (Section V-C, Figures 5 and 16). Dictionary-value FP data gives SC a
+// 3x+ ratio while BDI gets almost nothing; tolerance swings between
+// phases, so the best mode changes within the kernel.
+func SS() *Spec {
+	return &Spec{
+		WName: "SS", Cat: trace.CSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 15, Style: StyleDictFloat, Seed: 0x55F, Dict: 128},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "similarity", Blocks: 60, WarpsPerBlock: 8,
+			Phases: timeVaryingPhases(450, 1000, 3, 20, 6),
+		}},
+	}
+}
+
+// KM models K-Means: centroid tables of repeated FP values (SC-friendly)
+// with alternating assignment (memory-bound) and update (compute-dense)
+// phases — another fine-grained-adaptation winner (26.9% in the paper).
+func KM() *Spec {
+	return &Spec{
+		WName: "KM", Cat: trace.CSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 15, Style: StyleDictFloat, Seed: 0x6B, Dict: 64},
+			{Start: 1 << 16, Lines: 1 << 14, Style: StyleDictFloat, Seed: 0x6C, Dict: 64},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "kmeans", Blocks: 60, WarpsPerBlock: 8,
+			Phases: append(
+				timeVaryingPhases(500, 700, 2, 18, 6),
+				Phase{Kind: PhaseStream, Region: 1, Iters: 200, ALU: 2},
+			),
+		}},
+	}
+}
+
+// MM models Matrix Multiplication (Mars): tiled multiply whose tiles of
+// repeated FP values favour SC, with compute-dense inner products and
+// memory-bound tile loads alternating (21.2% under LATTE-CC).
+func MM() *Spec {
+	return &Spec{
+		WName: "MM", Cat: trace.CSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 15, Style: StyleDictFloat, Seed: 0x3131, Dict: 160},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "matmul", Blocks: 60, WarpsPerBlock: 8,
+			Phases: timeVaryingPhases(600, 600, 2, 20, 8),
+		}},
+	}
+}

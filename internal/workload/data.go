@@ -1,0 +1,151 @@
+// Package workload implements synthetic versions of the paper's benchmark
+// suite (Table III). Each workload recreates the qualitative properties
+// the LATTE-CC mechanisms respond to: data-value locality (spatial vs
+// temporal, controlling which codec compresses it), working-set size
+// (controlling cache sensitivity), warp-level parallelism and its phase
+// behaviour (controlling latency tolerance), and coalescing/divergence.
+//
+// DESIGN.md documents the substitution: the original CUDA benchmarks
+// cannot run without GPGPU-Sim, so these generators stand in for them,
+// tuned per workload to land in the paper's qualitative classes.
+package workload
+
+import "encoding/binary"
+
+// LineSize matches the simulator's cache line size.
+const LineSize = 128
+
+// wordsPerLine is the number of 32-bit words per line.
+const wordsPerLine = LineSize / 4
+
+// ValueStyle selects the data-value generator for a region, which in turn
+// determines which compression algorithm the region favours.
+type ValueStyle uint8
+
+const (
+	// StyleZeroHeavy produces mostly-zero lines (everything compresses).
+	StyleZeroHeavy ValueStyle = iota
+	// StyleSmallInt produces small integers: spatial AND temporal value
+	// locality (graph degrees, counters). BDI and SC both do well.
+	StyleSmallInt
+	// StyleStrideInt produces per-line arithmetic sequences from large,
+	// line-dependent bases: strong spatial locality, no cross-line value
+	// reuse. BDI-friendly, SC-hostile (array indices, offsets).
+	StyleStrideInt
+	// StylePointer produces 8-byte pointers into a line-dependent arena:
+	// BDI's classic case (b8d2/b8d4), SC-hostile.
+	StylePointer
+	// StyleDictFloat draws 32-bit words from a small global dictionary of
+	// high-entropy values: no within-line delta structure (BDI-hostile)
+	// but heavy cross-line value reuse (SC's case — clustering
+	// centroids, lookup tables, repeated FP constants).
+	StyleDictFloat
+	// StyleExpFloat produces float-like words with a shared exponent and
+	// a large constant mantissa stride: deltas too wide for BDI but
+	// collapsing to near-empty bit planes under BPC's transforms.
+	StyleExpFloat
+	// StyleRandom is incompressible noise.
+	StyleRandom
+)
+
+// splitmix64 is the deterministic value hash used throughout the
+// generators (no math/rand state, so Line is pure).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Region is a contiguous range of lines sharing one value style — one
+// logical array of the original benchmark.
+type Region struct {
+	Start uint64 // first line number
+	Lines uint64 // extent in lines
+	Style ValueStyle
+	Seed  uint64
+	// Dict is the dictionary size for StyleDictFloat (default 128).
+	Dict uint32
+}
+
+// contains reports whether the region covers lineAddr.
+func (r Region) contains(lineAddr uint64) bool {
+	return lineAddr >= r.Start && lineAddr < r.Start+r.Lines
+}
+
+// Data is a trace.DataSource over a set of regions. Lines outside all
+// regions are zero (untouched address space).
+type Data struct {
+	regions []Region
+}
+
+// NewData builds a data source from regions.
+func NewData(regions []Region) *Data { return &Data{regions: regions} }
+
+// Line implements trace.DataSource.
+func (d *Data) Line(lineAddr uint64) []byte {
+	for _, r := range d.regions {
+		if r.contains(lineAddr) {
+			return genLine(r, lineAddr)
+		}
+	}
+	return make([]byte, LineSize)
+}
+
+// genLine deterministically renders one line of a region.
+func genLine(r Region, lineAddr uint64) []byte {
+	b := make([]byte, LineSize)
+	h := splitmix64(r.Seed ^ lineAddr*0x9E3779B97F4A7C15)
+	switch r.Style {
+	case StyleZeroHeavy:
+		// ~25% of words are small non-zero values.
+		for i := 0; i < wordsPerLine; i++ {
+			v := splitmix64(h + uint64(i))
+			if v%4 == 0 {
+				binary.LittleEndian.PutUint32(b[i*4:], uint32(v>>32)&0xFF)
+			}
+		}
+	case StyleSmallInt:
+		for i := 0; i < wordsPerLine; i++ {
+			v := uint32(splitmix64(h+uint64(i)) & 0x3F) // 64 distinct values
+			binary.LittleEndian.PutUint32(b[i*4:], v)
+		}
+	case StyleStrideInt:
+		base := uint32(h) &^ 0xFFF    // large line-dependent base
+		stride := uint32(h>>32)%4 + 1 // deltas stay within BDI's 1-byte b4d1 range
+		for i := 0; i < wordsPerLine; i++ {
+			noise := uint32(splitmix64(h+uint64(i)) & 0x3)
+			binary.LittleEndian.PutUint32(b[i*4:], base+uint32(i)*stride+noise)
+		}
+	case StylePointer:
+		base := (h &^ 0xFFFF) | 0x7F0000000000
+		for i := 0; i < LineSize/8; i++ {
+			off := splitmix64(h+uint64(i)) & 0x7FF8
+			binary.LittleEndian.PutUint64(b[i*8:], base+off)
+		}
+	case StyleDictFloat:
+		dict := r.Dict
+		if dict == 0 {
+			dict = 128
+		}
+		for i := 0; i < wordsPerLine; i++ {
+			slot := splitmix64(h+uint64(i)) % uint64(dict)
+			// Dictionary entry: derived only from seed+slot so it repeats
+			// across lines (temporal value locality).
+			v := uint32(splitmix64(r.Seed*0x5851F42D4C957F2D + slot))
+			binary.LittleEndian.PutUint32(b[i*4:], v)
+		}
+	case StyleExpFloat:
+		exp := uint32(0x42000000) | uint32(h>>56)<<16
+		mant := uint32(h) & 0x7FFF
+		const stride = 3 << 14 // too wide for BDI's 2-byte deltas
+		for i := 0; i < wordsPerLine; i++ {
+			binary.LittleEndian.PutUint32(b[i*4:], exp|(mant+uint32(i)*stride)&0x7FFFFF)
+		}
+	case StyleRandom:
+		for i := 0; i < wordsPerLine; i++ {
+			binary.LittleEndian.PutUint32(b[i*4:], uint32(splitmix64(h+uint64(i))))
+		}
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"lattecc/internal/trace"
+)
+
+// JSON schema for user-defined workloads, so new benchmarks can be added
+// without writing Go. Styles and phase kinds use the names documented on
+// the ValueStyle and PhaseKind constants.
+//
+// Example:
+//
+//	{
+//	  "name": "MYAPP",
+//	  "category": "C-Sens",
+//	  "regions": [
+//	    {"start": 0, "lines": 16384, "style": "dict-float", "seed": 7, "dict": 96}
+//	  ],
+//	  "kernels": [
+//	    {
+//	      "name": "main", "blocks": 60, "warpsPerBlock": 8,
+//	      "phases": [
+//	        {"kind": "reuse", "region": 0, "iters": 800, "alu": 3, "wsLines": 16},
+//	        {"kind": "barrier", "iters": 1},
+//	        {"kind": "store", "region": 0, "iters": 100, "alu": 1}
+//	      ]
+//	    }
+//	  ]
+//	}
+
+// specJSON mirrors Spec for decoding.
+type specJSON struct {
+	Name     string       `json:"name"`
+	Category string       `json:"category"`
+	Regions  []regionJSON `json:"regions"`
+	Kernels  []kernelJSON `json:"kernels"`
+}
+
+type regionJSON struct {
+	Start uint64 `json:"start"`
+	Lines uint64 `json:"lines"`
+	Style string `json:"style"`
+	Seed  uint64 `json:"seed"`
+	Dict  uint32 `json:"dict"`
+}
+
+type kernelJSON struct {
+	Name          string      `json:"name"`
+	Blocks        int         `json:"blocks"`
+	WarpsPerBlock int         `json:"warpsPerBlock"`
+	Phases        []phaseJSON `json:"phases"`
+}
+
+type phaseJSON struct {
+	Kind       string `json:"kind"`
+	Region     int    `json:"region"`
+	Iters      int    `json:"iters"`
+	ALU        int    `json:"alu"`
+	ALULat     uint32 `json:"aluLat"`
+	WSLines    int    `json:"wsLines"`
+	Shared     bool   `json:"shared"`
+	Divergence int    `json:"divergence"`
+}
+
+var styleNames = map[string]ValueStyle{
+	"zero-heavy": StyleZeroHeavy,
+	"small-int":  StyleSmallInt,
+	"stride-int": StyleStrideInt,
+	"pointer":    StylePointer,
+	"dict-float": StyleDictFloat,
+	"exp-float":  StyleExpFloat,
+	"random":     StyleRandom,
+}
+
+var kindNames = map[string]PhaseKind{
+	"stream":  PhaseStream,
+	"reuse":   PhaseReuse,
+	"random":  PhaseRandom,
+	"compute": PhaseCompute,
+	"store":   PhaseStore,
+	"barrier": PhaseBarrier,
+}
+
+// ParseSpec decodes a JSON workload definition and validates it.
+func ParseSpec(data []byte) (*Spec, error) {
+	var sj specJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return nil, fmt.Errorf("workload: parse: %w", err)
+	}
+	if sj.Name == "" {
+		return nil, fmt.Errorf("workload: missing name")
+	}
+	spec := &Spec{WName: sj.Name}
+	switch sj.Category {
+	case "C-Sens":
+		spec.Cat = trace.CSens
+	case "C-InSens", "":
+		spec.Cat = trace.CInSens
+	default:
+		return nil, fmt.Errorf("workload %s: unknown category %q (want C-Sens or C-InSens)", sj.Name, sj.Category)
+	}
+	if len(sj.Regions) == 0 {
+		return nil, fmt.Errorf("workload %s: no regions", sj.Name)
+	}
+	for ri, rj := range sj.Regions {
+		style, ok := styleNames[rj.Style]
+		if !ok {
+			return nil, fmt.Errorf("workload %s: region %d: unknown style %q", sj.Name, ri, rj.Style)
+		}
+		if rj.Lines == 0 {
+			return nil, fmt.Errorf("workload %s: region %d: zero lines", sj.Name, ri)
+		}
+		spec.Regions = append(spec.Regions, Region{
+			Start: rj.Start, Lines: rj.Lines, Style: style, Seed: rj.Seed, Dict: rj.Dict,
+		})
+	}
+	if len(sj.Kernels) == 0 {
+		return nil, fmt.Errorf("workload %s: no kernels", sj.Name)
+	}
+	for ki, kj := range sj.Kernels {
+		if kj.Blocks <= 0 || kj.WarpsPerBlock <= 0 {
+			return nil, fmt.Errorf("workload %s: kernel %d: need positive blocks and warpsPerBlock", sj.Name, ki)
+		}
+		if len(kj.Phases) == 0 {
+			return nil, fmt.Errorf("workload %s: kernel %d: no phases", sj.Name, ki)
+		}
+		ks := KernelSpec{Name: kj.Name, Blocks: kj.Blocks, WarpsPerBlock: kj.WarpsPerBlock}
+		if ks.Name == "" {
+			ks.Name = fmt.Sprintf("%s-k%d", sj.Name, ki)
+		}
+		for pi, pj := range kj.Phases {
+			kind, ok := kindNames[pj.Kind]
+			if !ok {
+				return nil, fmt.Errorf("workload %s: kernel %d phase %d: unknown kind %q", sj.Name, ki, pi, pj.Kind)
+			}
+			if kind != PhaseCompute && kind != PhaseBarrier {
+				if pj.Region < 0 || pj.Region >= len(spec.Regions) {
+					return nil, fmt.Errorf("workload %s: kernel %d phase %d: region %d out of range", sj.Name, ki, pi, pj.Region)
+				}
+			}
+			if pj.Iters <= 0 {
+				return nil, fmt.Errorf("workload %s: kernel %d phase %d: need positive iters", sj.Name, ki, pi)
+			}
+			ks.Phases = append(ks.Phases, Phase{
+				Kind: kind, Region: pj.Region, Iters: pj.Iters, ALU: pj.ALU,
+				ALULat: pj.ALULat, WSLines: pj.WSLines, Shared: pj.Shared,
+				Divergence: pj.Divergence,
+			})
+		}
+		spec.KernelSeq = append(spec.KernelSeq, ks)
+	}
+	return spec, nil
+}
+
+// LoadSpecFile reads and parses a JSON workload definition from a file.
+func LoadSpecFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return ParseSpec(data)
+}

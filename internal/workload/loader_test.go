@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lattecc/internal/trace"
+)
+
+const validSpec = `{
+  "name": "MYAPP",
+  "category": "C-Sens",
+  "regions": [
+    {"start": 0, "lines": 16384, "style": "dict-float", "seed": 7, "dict": 96},
+    {"start": 65536, "lines": 4096, "style": "stride-int", "seed": 9}
+  ],
+  "kernels": [
+    {
+      "name": "main", "blocks": 60, "warpsPerBlock": 8,
+      "phases": [
+        {"kind": "reuse", "region": 0, "iters": 800, "alu": 3, "wsLines": 16},
+        {"kind": "barrier", "iters": 1},
+        {"kind": "store", "region": 1, "iters": 100, "alu": 1}
+      ]
+    }
+  ]
+}`
+
+func TestParseSpecValid(t *testing.T) {
+	spec, err := ParseSpec([]byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name() != "MYAPP" || spec.Category() != trace.CSens {
+		t.Fatalf("header: %s %v", spec.Name(), spec.Category())
+	}
+	if len(spec.Regions) != 2 || spec.Regions[0].Style != StyleDictFloat || spec.Regions[0].Dict != 96 {
+		t.Fatalf("regions: %+v", spec.Regions)
+	}
+	ks := spec.KernelSeq
+	if len(ks) != 1 || ks[0].Name != "main" || len(ks[0].Phases) != 3 {
+		t.Fatalf("kernels: %+v", ks)
+	}
+	if ks[0].Phases[1].Kind != PhaseBarrier {
+		t.Fatal("barrier phase lost")
+	}
+	// The loaded spec must produce runnable programs.
+	for _, k := range spec.Kernels() {
+		k.Validate()
+		p := k.Program(0, 0)
+		steps := 0
+		for {
+			if _, ok := p.Next(); !ok {
+				break
+			}
+			steps++
+		}
+		// 800*(1+3) + 1 + 100*(1+1) = 3401
+		if steps != 3401 {
+			t.Fatalf("program steps = %d, want 3401", steps)
+		}
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+	  "name": "X",
+	  "regions": [{"lines": 16, "style": "random"}],
+	  "kernels": [{"blocks": 1, "warpsPerBlock": 1,
+	    "phases": [{"kind": "stream", "iters": 4}]}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Category() != trace.CInSens {
+		t.Fatal("missing category must default to C-InSens")
+	}
+	if spec.KernelSeq[0].Name != "X-k0" {
+		t.Fatalf("default kernel name = %q", spec.KernelSeq[0].Name)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":         `{`,
+		"missing name":     `{"regions":[{"lines":1,"style":"random"}],"kernels":[{"blocks":1,"warpsPerBlock":1,"phases":[{"kind":"stream","iters":1}]}]}`,
+		"unknown category": `{"name":"X","category":"weird","regions":[{"lines":1,"style":"random"}],"kernels":[{"blocks":1,"warpsPerBlock":1,"phases":[{"kind":"stream","iters":1}]}]}`,
+		"no regions":       `{"name":"X","kernels":[{"blocks":1,"warpsPerBlock":1,"phases":[{"kind":"stream","iters":1}]}]}`,
+		"unknown style":    `{"name":"X","regions":[{"lines":1,"style":"nope"}],"kernels":[{"blocks":1,"warpsPerBlock":1,"phases":[{"kind":"stream","iters":1}]}]}`,
+		"zero lines":       `{"name":"X","regions":[{"lines":0,"style":"random"}],"kernels":[{"blocks":1,"warpsPerBlock":1,"phases":[{"kind":"stream","iters":1}]}]}`,
+		"no kernels":       `{"name":"X","regions":[{"lines":1,"style":"random"}]}`,
+		"bad blocks":       `{"name":"X","regions":[{"lines":1,"style":"random"}],"kernels":[{"blocks":0,"warpsPerBlock":1,"phases":[{"kind":"stream","iters":1}]}]}`,
+		"no phases":        `{"name":"X","regions":[{"lines":1,"style":"random"}],"kernels":[{"blocks":1,"warpsPerBlock":1}]}`,
+		"unknown kind":     `{"name":"X","regions":[{"lines":1,"style":"random"}],"kernels":[{"blocks":1,"warpsPerBlock":1,"phases":[{"kind":"zap","iters":1}]}]}`,
+		"region range":     `{"name":"X","regions":[{"lines":1,"style":"random"}],"kernels":[{"blocks":1,"warpsPerBlock":1,"phases":[{"kind":"stream","region":5,"iters":1}]}]}`,
+		"zero iters":       `{"name":"X","regions":[{"lines":1,"style":"random"}],"kernels":[{"blocks":1,"warpsPerBlock":1,"phases":[{"kind":"stream","iters":0}]}]}`,
+	}
+	for label, in := range cases {
+		if _, err := ParseSpec([]byte(in)); err == nil {
+			t.Errorf("%s: want error", label)
+		}
+	}
+}
+
+func TestLoadSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.json")
+	if err := os.WriteFile(path, []byte(validSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadSpecFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name() != "MYAPP" {
+		t.Fatal("wrong spec loaded")
+	}
+	if _, err := LoadSpecFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestAllStylesAndKindsHaveNames(t *testing.T) {
+	// Every defined constant must be reachable from JSON.
+	styles := []ValueStyle{StyleZeroHeavy, StyleSmallInt, StyleStrideInt,
+		StylePointer, StyleDictFloat, StyleExpFloat, StyleRandom}
+	if len(styleNames) != len(styles) {
+		t.Fatalf("styleNames has %d entries, want %d", len(styleNames), len(styles))
+	}
+	kinds := []PhaseKind{PhaseStream, PhaseReuse, PhaseRandom, PhaseCompute, PhaseStore, PhaseBarrier}
+	if len(kindNames) != len(kinds) {
+		t.Fatalf("kindNames has %d entries, want %d", len(kindNames), len(kinds))
+	}
+	for name := range styleNames {
+		if strings.TrimSpace(name) == "" {
+			t.Fatal("empty style name")
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"fmt"
+
+	"lattecc/internal/trace"
+)
+
+// PhaseKind is the access pattern of one program phase.
+type PhaseKind uint8
+
+const (
+	// PhaseStream walks the region sequentially with no reuse.
+	PhaseStream PhaseKind = iota
+	// PhaseReuse loops over a per-warp working-set slice of the region —
+	// the cache-sensitivity driver.
+	PhaseReuse
+	// PhaseRandom touches hashed locations of the region (graph
+	// traversals, hash tables).
+	PhaseRandom
+	// PhaseCompute issues only ALU work (no memory).
+	PhaseCompute
+	// PhaseStore streams stores through the region.
+	PhaseStore
+	// PhaseBarrier emits one block-level barrier per iteration
+	// (__syncthreads between wavefronts, stencil sweeps, ...).
+	PhaseBarrier
+)
+
+// Phase describes one phase of a warp program. Every phase iteration
+// emits one memory instruction (except PhaseCompute) followed by ALU
+// instructions; the ALU:memory ratio is the workload's arithmetic
+// intensity and, with the warp count, determines latency tolerance.
+type Phase struct {
+	Kind   PhaseKind
+	Region int // index into the workload's regions
+	Iters  int // memory ops (or ALU bursts for PhaseCompute)
+	ALU    int // ALU ops per iteration
+	ALULat uint32
+
+	// WSLines is the per-warp working-set size for PhaseReuse.
+	WSLines int
+	// Shared makes PhaseReuse warps of the same block share one working
+	// set instead of using disjoint slices.
+	Shared bool
+	// Divergence is the number of distinct lines per load (1 =
+	// coalesced, up to 32 = fully divergent).
+	Divergence int
+}
+
+// program walks a warp through its phases lazily.
+type program struct {
+	regions    []Region
+	phases     []Phase
+	warpGlob   uint64 // global warp index
+	block      int
+	phase      int
+	iter       int
+	aluLeft    int
+	emittedMem bool
+}
+
+// Next implements trace.Program.
+func (p *program) Next() (trace.Inst, bool) {
+	for p.phase < len(p.phases) {
+		ph := &p.phases[p.phase]
+		if p.iter >= ph.Iters {
+			p.phase++
+			p.iter = 0
+			p.aluLeft = 0
+			p.emittedMem = false
+			continue
+		}
+		// ALU tail of the current iteration.
+		if p.aluLeft > 0 {
+			p.aluLeft--
+			if p.aluLeft == 0 {
+				p.iter++
+				p.emittedMem = false
+			}
+			return trace.Inst{Op: trace.OpALU, Lat: ph.ALULat}, true
+		}
+		if ph.Kind == PhaseCompute {
+			p.aluLeft = ph.ALU
+			if p.aluLeft == 0 {
+				p.iter++
+				continue
+			}
+			continue
+		}
+		if ph.Kind == PhaseBarrier {
+			p.iter++
+			return trace.Inst{Op: trace.OpBarrier}, true
+		}
+		if !p.emittedMem {
+			p.emittedMem = true
+			p.aluLeft = ph.ALU
+			inst := p.memInst(ph)
+			if p.aluLeft == 0 {
+				p.iter++
+				p.emittedMem = false
+			}
+			return inst, true
+		}
+		// Memory op emitted and no ALU tail: advance.
+		p.iter++
+		p.emittedMem = false
+	}
+	return trace.Inst{}, false
+}
+
+// memInst builds the memory instruction for the current iteration.
+func (p *program) memInst(ph *Phase) trace.Inst {
+	r := p.regions[ph.Region]
+	var lineOff uint64
+	i := uint64(p.iter)
+	switch ph.Kind {
+	case PhaseStream, PhaseStore:
+		lineOff = (p.warpGlob*uint64(ph.Iters) + i) % r.Lines
+	case PhaseReuse:
+		ws := uint64(ph.WSLines)
+		if ws == 0 {
+			ws = 1
+		}
+		slice := p.warpGlob
+		if ph.Shared {
+			slice = uint64(p.block)
+		}
+		// Hashed index within the working set rather than a cyclic walk: a
+		// cyclic walk over ws > capacity is the LRU worst case (0% hits),
+		// whereas real kernels see graceful capacity/ws hit-rate scaling.
+		lineOff = (slice*ws + splitmix64(i*0x9E3779B9+slice)%ws) % r.Lines
+	case PhaseRandom:
+		lineOff = splitmix64(r.Seed^(p.warpGlob<<32|i)) % r.Lines
+	}
+	div := ph.Divergence
+	if div < 1 {
+		div = 1
+	}
+	addrs := make([]uint64, 0, div)
+	for j := 0; j < div; j++ {
+		off := lineOff
+		if j > 0 {
+			off = (lineOff + splitmix64(i*uint64(div)+uint64(j))%r.Lines) % r.Lines
+		}
+		addrs = append(addrs, (r.Start+off)*LineSize)
+	}
+	op := trace.OpLoad
+	if ph.Kind == PhaseStore {
+		op = trace.OpStore
+	}
+	return trace.Inst{Op: op, Addrs: addrs}
+}
+
+// Spec is a declarative synthetic workload: a data image plus one kernel
+// shape (or several, via MultiSpec) executed by phase-driven programs.
+type Spec struct {
+	WName     string
+	Cat       trace.Category
+	Regions   []Region
+	KernelSeq []KernelSpec
+}
+
+// KernelSpec shapes one kernel launch.
+type KernelSpec struct {
+	Name          string
+	Blocks        int
+	WarpsPerBlock int
+	Phases        []Phase
+}
+
+var _ trace.Workload = (*Spec)(nil)
+
+// Name implements trace.Workload.
+func (s *Spec) Name() string { return s.WName }
+
+// Category implements trace.Workload.
+func (s *Spec) Category() trace.Category { return s.Cat }
+
+// Data implements trace.Workload.
+func (s *Spec) Data() trace.DataSource { return NewData(s.Regions) }
+
+// Kernels implements trace.Workload.
+func (s *Spec) Kernels() []trace.Kernel {
+	if len(s.KernelSeq) == 0 {
+		panic(fmt.Sprintf("workload %s: no kernels", s.WName))
+	}
+	kernels := make([]trace.Kernel, 0, len(s.KernelSeq))
+	for _, ks := range s.KernelSeq {
+		ks := ks
+		kernels = append(kernels, trace.Kernel{
+			Name:          ks.Name,
+			Blocks:        ks.Blocks,
+			WarpsPerBlock: ks.WarpsPerBlock,
+			Program: func(block, warp int) trace.Program {
+				return &program{
+					regions:  s.Regions,
+					phases:   ks.Phases,
+					block:    block,
+					warpGlob: uint64(block*ks.WarpsPerBlock + warp),
+				}
+			},
+		})
+	}
+	return kernels
+}

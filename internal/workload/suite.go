@@ -1,0 +1,324 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"lattecc/internal/trace"
+)
+
+// builders maps each Table III abbreviation to its constructor. Each
+// synthetic workload recreates the paper benchmark's qualitative class;
+// the per-workload comments state the targeted behaviours.
+var builders = map[string]func() *Spec{
+	// C-InSens
+	"BO":  BO,
+	"PTH": PTH,
+	"HOT": HOT,
+	"FWT": FWT,
+	"BP":  BP,
+	"NW":  NW,
+	"SR1": SR1,
+	"HW":  HW,
+	"SCL": SCL,
+	"BT":  BT,
+	"WC":  WC,
+	"BFS": BFS,
+	// C-Sens
+	"PF":  PF,
+	"SS":  SS,
+	"MM":  MM,
+	"KM":  KM,
+	"BC":  BC,
+	"CLR": CLR,
+	"FW":  FW,
+	"PRK": PRK,
+	"DJK": DJK,
+	"MIS": MIS,
+}
+
+// Names returns every workload abbreviation, sorted, C-Sens last — the
+// order the paper's figures use (insensitive group then sensitive group).
+func Names() []string {
+	var ins, sens []string
+	for name, b := range builders {
+		if b().Category() == trace.CSens {
+			sens = append(sens, name)
+		} else {
+			ins = append(ins, name)
+		}
+	}
+	sort.Strings(ins)
+	sort.Strings(sens)
+	return append(ins, sens...)
+}
+
+// ByName builds the named workload.
+func ByName(name string) (trace.Workload, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return b(), nil
+}
+
+// All builds every workload in Names() order.
+func All() []trace.Workload {
+	names := Names()
+	out := make([]trace.Workload, 0, len(names))
+	for _, n := range names {
+		w, _ := ByName(n)
+		out = append(out, w)
+	}
+	return out
+}
+
+// CSens builds the cache-sensitive workloads.
+func CSens() []trace.Workload { return byCat(trace.CSens) }
+
+// CInSens builds the cache-insensitive workloads.
+func CInSens() []trace.Workload { return byCat(trace.CInSens) }
+
+func byCat(cat trace.Category) []trace.Workload {
+	var out []trace.Workload
+	for _, w := range All() {
+		if w.Category() == cat {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Cache-insensitive workloads (Table III upper block). These either fit
+// in the baseline L1 or stream without reuse, so extra effective capacity
+// is worthless — what distinguishes them is how much added hit latency
+// they tolerate (NW, HW, SCL, BT are the paper's Static-SC victims).
+// ---------------------------------------------------------------------
+
+// BO models Binomial Options: compute-bound finance kernel, small hot
+// working set, high occupancy. High latency tolerance; capacity
+// insensitive.
+func BO() *Spec {
+	return &Spec{
+		WName: "BO", Cat: trace.CInSens,
+		Regions: []Region{{Start: 0, Lines: 4096, Style: StyleExpFloat, Seed: 0xB0}},
+		KernelSeq: []KernelSpec{{
+			Name: "binomial", Blocks: 60, WarpsPerBlock: 8,
+			Phases: []Phase{
+				{Kind: PhaseReuse, Region: 0, Iters: 220, ALU: 7, WSLines: 2},
+			},
+		}},
+	}
+}
+
+// PTH models PathFinder: row-by-row dynamic programming, streaming reads
+// with high warp counts. Tolerant, insensitive.
+func PTH() *Spec {
+	return &Spec{
+		WName: "PTH", Cat: trace.CInSens,
+		Regions: []Region{{Start: 0, Lines: 1 << 15, Style: StyleSmallInt, Seed: 0x971}},
+		KernelSeq: []KernelSpec{{
+			Name: "pathfinder", Blocks: 60, WarpsPerBlock: 8,
+			Phases: []Phase{
+				{Kind: PhaseStream, Region: 0, Iters: 300, ALU: 2},
+			},
+		}},
+	}
+}
+
+// HOT models Hotspot: a stencil whose per-block tile fits in the L1.
+// Moderate ALU intensity, high occupancy.
+func HOT() *Spec {
+	return &Spec{
+		WName: "HOT", Cat: trace.CInSens,
+		Regions: []Region{{Start: 0, Lines: 8192, Style: StyleStrideInt, Seed: 0x407}},
+		KernelSeq: []KernelSpec{{
+			Name: "hotspot", Blocks: 60, WarpsPerBlock: 8,
+			Phases: []Phase{
+				{Kind: PhaseReuse, Region: 0, Iters: 260, ALU: 3, WSLines: 3},
+			},
+		}},
+	}
+}
+
+// FWT models Fast Walsh Transform: butterfly passes streaming a float
+// array, stores back each stage.
+func FWT() *Spec {
+	return &Spec{
+		WName: "FWT", Cat: trace.CInSens,
+		Regions: []Region{{Start: 0, Lines: 1 << 14, Style: StyleExpFloat, Seed: 0xF37}},
+		KernelSeq: []KernelSpec{{
+			Name: "fwt", Blocks: 60, WarpsPerBlock: 8,
+			Phases: []Phase{
+				{Kind: PhaseStream, Region: 0, Iters: 160, ALU: 3},
+				{Kind: PhaseStore, Region: 0, Iters: 80, ALU: 1},
+			},
+		}},
+	}
+}
+
+// BP models Back Propagation: weight-matrix streaming with repeated FP
+// constants (dictionary-like values), stores for updates.
+func BP() *Spec {
+	return &Spec{
+		WName: "BP", Cat: trace.CInSens,
+		Regions: []Region{{Start: 0, Lines: 1 << 14, Style: StyleDictFloat, Seed: 0xB9, Dict: 256}},
+		KernelSeq: []KernelSpec{{
+			Name: "backprop", Blocks: 60, WarpsPerBlock: 8,
+			Phases: []Phase{
+				{Kind: PhaseStream, Region: 0, Iters: 200, ALU: 3},
+				{Kind: PhaseStore, Region: 0, Iters: 60, ALU: 1},
+			},
+		}},
+	}
+}
+
+// NW models Needleman-Wunsch: wavefront parallelism, very few concurrent
+// warps, hit-dominated accesses over compressible score rows. The
+// paper's archetype of a workload with almost no latency tolerance —
+// Static-SC degrades it badly. Two diagonal-sweep kernels re-insert the
+// rows once the SC code book exists.
+func NW() *Spec {
+	kernel := func(name string) KernelSpec {
+		// Four diagonal wavefronts per kernel, block-synchronized between
+		// them (the DP dependence structure).
+		var phases []Phase
+		for wave := 0; wave < 4; wave++ {
+			phases = append(phases,
+				Phase{Kind: PhaseReuse, Region: 0, Iters: 1000, ALU: 1, WSLines: 4},
+				Phase{Kind: PhaseBarrier, Iters: 1},
+			)
+		}
+		return KernelSpec{Name: name, Blocks: 15, WarpsPerBlock: 2, Phases: phases}
+	}
+	return &Spec{
+		WName: "NW", Cat: trace.CInSens,
+		Regions:   []Region{{Start: 0, Lines: 2048, Style: StyleSmallInt, Seed: 0x8A}},
+		KernelSeq: []KernelSpec{kernel("nw-fwd"), kernel("nw-back")},
+	}
+}
+
+// SR1 models SRAD1: image-processing stencil, streaming float reads with
+// moderate compute and stores.
+func SR1() *Spec {
+	return &Spec{
+		WName: "SR1", Cat: trace.CInSens,
+		Regions: []Region{{Start: 0, Lines: 1 << 14, Style: StyleExpFloat, Seed: 0x521}},
+		KernelSeq: []KernelSpec{{
+			Name: "srad1", Blocks: 60, WarpsPerBlock: 8,
+			Phases: []Phase{
+				{Kind: PhaseStream, Region: 0, Iters: 220, ALU: 4},
+				{Kind: PhaseStore, Region: 0, Iters: 40, ALU: 1},
+			},
+		}},
+	}
+}
+
+// HW models Heartwall: low occupancy, hit-heavy loops over compressible
+// tracking state, one kernel per video frame. With SC the decompression
+// latency lands on a pipeline with nothing to hide it — the paper's
+// worst energy case (+53%).
+func HW() *Spec {
+	var ks []KernelSpec
+	for _, frame := range []string{"f0", "f1", "f2", "f3", "f4", "f5"} {
+		ks = append(ks, KernelSpec{
+			Name: "heartwall-" + frame, Blocks: 15, WarpsPerBlock: 2,
+			Phases: []Phase{
+				{Kind: PhaseReuse, Region: 0, Iters: 3000, ALU: 1, WSLines: 5},
+			},
+		})
+	}
+	return &Spec{
+		WName: "HW", Cat: trace.CInSens,
+		Regions:   []Region{{Start: 0, Lines: 2048, Style: StyleDictFloat, Seed: 0x44, Dict: 128}},
+		KernelSeq: ks,
+	}
+}
+
+// SCL models Streamcluster: distance computations against a small set of
+// cluster centres (hit-heavy, compressible) at modest occupancy.
+func SCL() *Spec {
+	return &Spec{
+		WName: "SCL", Cat: trace.CInSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1024, Style: StyleDictFloat, Seed: 0x5C, Dict: 192},
+			{Start: 1 << 16, Lines: 1 << 14, Style: StyleDictFloat, Seed: 0x5D, Dict: 192},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "streamcluster", Blocks: 30, WarpsPerBlock: 4,
+			Phases: []Phase{
+				{Kind: PhaseReuse, Region: 0, Iters: 2000, ALU: 2, WSLines: 4, Shared: true},
+				{Kind: PhaseStream, Region: 1, Iters: 300, ALU: 2},
+			},
+		}},
+	}
+}
+
+// BT models B+Tree: pointer-chasing queries. Upper tree levels hit and
+// are compressible; occupancy is low, so added hit latency is exposed.
+func BT() *Spec {
+	return &Spec{
+		WName: "BT", Cat: trace.CInSens,
+		Regions: []Region{
+			{Start: 0, Lines: 512, Style: StylePointer, Seed: 0xB7},           // hot upper levels
+			{Start: 1 << 16, Lines: 1 << 15, Style: StylePointer, Seed: 0xB8}, // leaves
+		},
+		KernelSeq: []KernelSpec{
+			{
+				Name: "btree-batch1", Blocks: 30, WarpsPerBlock: 4,
+				Phases: []Phase{
+					{Kind: PhaseReuse, Region: 0, Iters: 1500, ALU: 1, WSLines: 3, Shared: true},
+					{Kind: PhaseRandom, Region: 1, Iters: 400, ALU: 1, Divergence: 2},
+				},
+			},
+			{
+				Name: "btree-batch2", Blocks: 30, WarpsPerBlock: 4,
+				Phases: []Phase{
+					{Kind: PhaseReuse, Region: 0, Iters: 1500, ALU: 1, WSLines: 3, Shared: true},
+					{Kind: PhaseRandom, Region: 1, Iters: 400, ALU: 1, Divergence: 2},
+				},
+			},
+		},
+	}
+}
+
+// WC models Word Count (Mars map-reduce): streaming text with counter
+// stores, high occupancy, fully latency tolerant.
+func WC() *Spec {
+	return &Spec{
+		WName: "WC", Cat: trace.CInSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 14, Style: StyleZeroHeavy, Seed: 0x3C},
+			{Start: 1 << 16, Lines: 4096, Style: StyleSmallInt, Seed: 0x3D},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "wordcount", Blocks: 60, WarpsPerBlock: 8,
+			Phases: []Phase{
+				{Kind: PhaseStream, Region: 0, Iters: 200, ALU: 2},
+				{Kind: PhaseStore, Region: 1, Iters: 60, ALU: 1},
+			},
+		}},
+	}
+}
+
+// BFS models Breadth-First Search: irregular frontier expansion with
+// divergent accesses over compressible adjacency data. Miss-dominated,
+// so compression's capacity cannot help (C-InSens), but high warp counts
+// tolerate any added latency.
+func BFS() *Spec {
+	return &Spec{
+		WName: "BFS", Cat: trace.CInSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 15, Style: StyleSmallInt, Seed: 0xBF5},
+			{Start: 1 << 16, Lines: 1 << 15, Style: StyleStrideInt, Seed: 0xBF6},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "bfs", Blocks: 60, WarpsPerBlock: 8,
+			Phases: []Phase{
+				{Kind: PhaseRandom, Region: 0, Iters: 120, ALU: 1, Divergence: 3},
+				{Kind: PhaseRandom, Region: 1, Iters: 120, ALU: 1, Divergence: 2},
+			},
+		}},
+	}
+}

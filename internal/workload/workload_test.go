@@ -1,0 +1,330 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"lattecc/internal/compress"
+	"lattecc/internal/trace"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 22 {
+		t.Fatalf("suite has %d workloads, want 22: %v", len(names), names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %s", n)
+		}
+		seen[n] = true
+		w, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name() != n {
+			t.Fatalf("workload %s reports name %s", n, w.Name())
+		}
+		for _, k := range w.Kernels() {
+			k.Validate()
+		}
+	}
+	if _, err := ByName("NOPE"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+func TestCategorySplit(t *testing.T) {
+	sens, insens := CSens(), CInSens()
+	if len(sens) != 10 || len(insens) != 12 {
+		t.Fatalf("split %d C-Sens / %d C-InSens, want 10/12", len(sens), len(insens))
+	}
+	for _, w := range sens {
+		if w.Category() != trace.CSens {
+			t.Fatalf("%s misclassified", w.Name())
+		}
+	}
+}
+
+func TestDataDeterministicAndSized(t *testing.T) {
+	for _, w := range All() {
+		d := w.Data()
+		for _, line := range []uint64{0, 1, 77, 1 << 14, 1 << 20} {
+			a := d.Line(line)
+			b := d.Line(line)
+			if len(a) != LineSize {
+				t.Fatalf("%s: line length %d", w.Name(), len(a))
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("%s: non-deterministic data at line %d", w.Name(), line)
+			}
+		}
+	}
+}
+
+func TestProgramsTerminateAndStayInRegions(t *testing.T) {
+	for _, w := range All() {
+		spec := mustSpec(t, w)
+		for _, k := range w.Kernels() {
+			// Sample a few warps; every program must terminate and only
+			// touch declared regions.
+			for _, wi := range []int{0, k.WarpsPerBlock - 1} {
+				p := k.Program(k.Blocks-1, wi)
+				steps := 0
+				for {
+					inst, ok := p.Next()
+					if !ok {
+						break
+					}
+					steps++
+					if steps > 5_000_000 {
+						t.Fatalf("%s/%s: program does not terminate", w.Name(), k.Name)
+					}
+					for _, addr := range inst.Addrs {
+						line := addr / LineSize
+						if !inRegions(spec.Regions, line) {
+							t.Fatalf("%s/%s: address %#x outside regions", w.Name(), k.Name, addr)
+						}
+					}
+				}
+				if steps == 0 {
+					t.Fatalf("%s/%s: empty program", w.Name(), k.Name)
+				}
+			}
+		}
+	}
+}
+
+func mustSpec(t *testing.T, w trace.Workload) *Spec {
+	t.Helper()
+	s, ok := w.(*Spec)
+	if !ok {
+		t.Fatalf("%s is not a *Spec", w.Name())
+	}
+	return s
+}
+
+func inRegions(rs []Region, line uint64) bool {
+	for _, r := range rs {
+		if r.contains(line) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestProgramInstructionCount(t *testing.T) {
+	// One phase: iters*(1+ALU) instructions.
+	s := &Spec{
+		WName: "x", Cat: trace.CInSens,
+		Regions: []Region{{Start: 0, Lines: 64, Style: StyleSmallInt}},
+		KernelSeq: []KernelSpec{{
+			Name: "k", Blocks: 1, WarpsPerBlock: 1,
+			Phases: []Phase{{Kind: PhaseReuse, Region: 0, Iters: 10, ALU: 3, WSLines: 4}},
+		}},
+	}
+	p := s.Kernels()[0].Program(0, 0)
+	loads, alus := 0, 0
+	for {
+		inst, ok := p.Next()
+		if !ok {
+			break
+		}
+		switch inst.Op {
+		case trace.OpLoad:
+			loads++
+		case trace.OpALU:
+			alus++
+		}
+	}
+	if loads != 10 || alus != 30 {
+		t.Fatalf("loads=%d alus=%d, want 10/30", loads, alus)
+	}
+}
+
+func TestComputePhaseEmitsOnlyALU(t *testing.T) {
+	s := &Spec{
+		WName: "x", Cat: trace.CInSens,
+		Regions: []Region{{Start: 0, Lines: 4, Style: StyleSmallInt}},
+		KernelSeq: []KernelSpec{{
+			Name: "k", Blocks: 1, WarpsPerBlock: 1,
+			Phases: []Phase{{Kind: PhaseCompute, Region: 0, Iters: 5, ALU: 4}},
+		}},
+	}
+	p := s.Kernels()[0].Program(0, 0)
+	n := 0
+	for {
+		inst, ok := p.Next()
+		if !ok {
+			break
+		}
+		if inst.Op != trace.OpALU {
+			t.Fatalf("compute phase emitted %v", inst.Op)
+		}
+		n++
+	}
+	if n != 20 {
+		t.Fatalf("alus = %d, want 20", n)
+	}
+}
+
+func TestDivergenceProducesDistinctLines(t *testing.T) {
+	s := &Spec{
+		WName: "x", Cat: trace.CInSens,
+		Regions: []Region{{Start: 0, Lines: 4096, Style: StyleSmallInt, Seed: 9}},
+		KernelSeq: []KernelSpec{{
+			Name: "k", Blocks: 1, WarpsPerBlock: 1,
+			Phases: []Phase{{Kind: PhaseRandom, Region: 0, Iters: 20, Divergence: 8}},
+		}},
+	}
+	p := s.Kernels()[0].Program(0, 0)
+	for {
+		inst, ok := p.Next()
+		if !ok {
+			break
+		}
+		if len(inst.Addrs) != 8 {
+			t.Fatalf("divergence 8 produced %d addrs", len(inst.Addrs))
+		}
+	}
+}
+
+func TestSharedReuseGivesBlockmatesSameLines(t *testing.T) {
+	s := &Spec{
+		WName: "x", Cat: trace.CInSens,
+		Regions: []Region{{Start: 0, Lines: 4096, Style: StyleSmallInt}},
+		KernelSeq: []KernelSpec{{
+			Name: "k", Blocks: 2, WarpsPerBlock: 2,
+			Phases: []Phase{{Kind: PhaseReuse, Region: 0, Iters: 6, WSLines: 4, Shared: true}},
+		}},
+	}
+	k := s.Kernels()[0]
+	addrsOf := func(block, warp int) []uint64 {
+		var out []uint64
+		p := k.Program(block, warp)
+		for {
+			inst, ok := p.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, inst.Addrs...)
+		}
+	}
+	w0 := addrsOf(0, 0)
+	w1 := addrsOf(0, 1)
+	other := addrsOf(1, 0)
+	for i := range w0 {
+		if w0[i] != w1[i] {
+			t.Fatal("shared reuse: warps of the same block must touch the same lines")
+		}
+	}
+	same := true
+	for i := range w0 {
+		if w0[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different blocks must have different shared sets")
+	}
+}
+
+// Compression-affinity tests: the value styles must land each codec in
+// the Figure 2 qualitative classes.
+
+func ratioOf(c compress.Codec, r Region, nLines int) float64 {
+	var un, co float64
+	for i := 0; i < nLines; i++ {
+		enc := c.Compress(genLine(r, r.Start+uint64(i)))
+		un += float64(compress.LineSize)
+		co += float64(enc.Size)
+	}
+	return un / co
+}
+
+func trainedSC(r Region, nLines int) *compress.SC {
+	sc := compress.NewSC()
+	for i := 0; i < nLines; i++ {
+		sc.Train(genLine(r, r.Start+uint64(i)))
+	}
+	sc.Rebuild()
+	return sc
+}
+
+func TestStrideIntFavorsBDI(t *testing.T) {
+	r := Region{Start: 0, Lines: 4096, Style: StyleStrideInt, Seed: 1}
+	if got := ratioOf(compress.NewBDI(), r, 200); got < 2 {
+		t.Fatalf("BDI on StrideInt = %.2f, want >= 2", got)
+	}
+	sc := trainedSC(r, 400)
+	if got := ratioOf(sc, r, 200); got > 1.5 {
+		t.Fatalf("SC on StrideInt = %.2f, want hostile (<= 1.5)", got)
+	}
+}
+
+func TestDictFloatFavorsSC(t *testing.T) {
+	r := Region{Start: 0, Lines: 4096, Style: StyleDictFloat, Seed: 2, Dict: 128}
+	if got := ratioOf(compress.NewBDI(), r, 200); got > 1.3 {
+		t.Fatalf("BDI on DictFloat = %.2f, want ~1 (hostile)", got)
+	}
+	sc := trainedSC(r, 400)
+	if got := ratioOf(sc, r, 200); got < 2 {
+		t.Fatalf("SC on DictFloat = %.2f, want >= 2", got)
+	}
+}
+
+func TestExpFloatFavorsBPC(t *testing.T) {
+	r := Region{Start: 0, Lines: 4096, Style: StyleExpFloat, Seed: 3}
+	if got := ratioOf(compress.NewBPC(), r, 200); got < 3 {
+		t.Fatalf("BPC on ExpFloat = %.2f, want >= 3", got)
+	}
+	if got := ratioOf(compress.NewBDI(), r, 200); got > 1.3 {
+		t.Fatalf("BDI on ExpFloat = %.2f, want ~1 (hostile)", got)
+	}
+}
+
+func TestPointerFavorsBDI(t *testing.T) {
+	r := Region{Start: 0, Lines: 4096, Style: StylePointer, Seed: 4}
+	if got := ratioOf(compress.NewBDI(), r, 200); got < 2 {
+		t.Fatalf("BDI on Pointer = %.2f, want >= 2", got)
+	}
+}
+
+func TestRandomIsIncompressible(t *testing.T) {
+	r := Region{Start: 0, Lines: 4096, Style: StyleRandom, Seed: 5}
+	for _, c := range []compress.Codec{compress.NewBDI(), compress.NewFPC(), compress.NewBPC()} {
+		if got := ratioOf(c, r, 100); got > 1.1 {
+			t.Fatalf("%s on Random = %.2f, want ~1", c.Name(), got)
+		}
+	}
+}
+
+func TestZeroHeavyCompressesEverywhere(t *testing.T) {
+	r := Region{Start: 0, Lines: 4096, Style: StyleZeroHeavy, Seed: 6}
+	for _, c := range []compress.Codec{compress.NewBDI(), compress.NewFPC(), compress.NewCPACK()} {
+		if got := ratioOf(c, r, 100); got < 1.5 {
+			t.Fatalf("%s on ZeroHeavy = %.2f, want >= 1.5", c.Name(), got)
+		}
+	}
+}
+
+func TestOutOfRegionLinesAreZero(t *testing.T) {
+	d := NewData([]Region{{Start: 100, Lines: 10, Style: StyleRandom, Seed: 7}})
+	line := d.Line(50)
+	for _, b := range line {
+		if b != 0 {
+			t.Fatal("unmapped lines must be zero")
+		}
+	}
+}
+
+func TestSplitmixAvalancheQuick(t *testing.T) {
+	f := func(x uint64) bool {
+		return splitmix64(x) != splitmix64(x+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package lattecc_test
+
+import (
+	"testing"
+
+	"lattecc"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := lattecc.DefaultConfig()
+	cfg.NumSMs = 2
+
+	res, err := lattecc.Run(cfg, "BO", lattecc.Uncompressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Instructions == 0 || res.IPC() <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if _, err := lattecc.Run(cfg, "NOPE", lattecc.Uncompressed); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
+
+func TestPublicAPIWorkloadList(t *testing.T) {
+	names := lattecc.Workloads()
+	if len(names) != 22 {
+		t.Fatalf("suite has %d workloads", len(names))
+	}
+	w, err := lattecc.WorkloadByName("SS")
+	if err != nil || w.Name() != "SS" {
+		t.Fatalf("WorkloadByName: %v %v", w, err)
+	}
+}
+
+func TestPublicAPICustomWorkload(t *testing.T) {
+	cfg := lattecc.DefaultConfig()
+	cfg.NumSMs = 2
+	w := &lattecc.WorkloadSpec{
+		WName: "api-custom",
+		Regions: []lattecc.Region{
+			{Start: 0, Lines: 1024, Style: lattecc.StyleSmallInt, Seed: 5},
+		},
+		KernelSeq: []lattecc.KernelSpec{{
+			Name: "k", Blocks: 4, WarpsPerBlock: 4,
+			Phases: []lattecc.PhaseSpec{
+				{Kind: lattecc.PhaseReuse, Region: 0, Iters: 100, ALU: 2, WSLines: 8},
+				{Kind: lattecc.PhaseStore, Region: 0, Iters: 20, ALU: 1},
+			},
+		}},
+	}
+	res, err := lattecc.RunWorkload(cfg, w, lattecc.LatteCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(4 * 4 * (100*3 + 20*2))
+	if res.Instructions != want {
+		t.Fatalf("instructions = %d, want %d", res.Instructions, want)
+	}
+}
+
+func TestPublicAPICodecs(t *testing.T) {
+	line := make([]byte, lattecc.LineSize)
+	for i := range line {
+		line[i] = byte(i % 7)
+	}
+	for _, c := range []lattecc.Codec{
+		lattecc.NewBDI(), lattecc.NewFPC(), lattecc.NewCPACK(), lattecc.NewBPC(),
+	} {
+		enc := c.Compress(line)
+		if enc.Size <= 0 || enc.Size > lattecc.LineSize {
+			t.Fatalf("%s: size %d", c.Name(), enc.Size)
+		}
+		dec, err := c.Decompress(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if string(dec) != string(line) {
+			t.Fatalf("%s: round trip mismatch", c.Name())
+		}
+	}
+	sc := lattecc.NewSC()
+	sc.Train(line)
+	if !sc.Rebuild() {
+		t.Fatal("SC rebuild failed")
+	}
+	if enc := sc.Compress(line); enc.Raw {
+		t.Fatal("trained SC should compress its training line")
+	}
+}
+
+func TestPublicAPIEnergy(t *testing.T) {
+	cfg := lattecc.DefaultConfig()
+	cfg.NumSMs = 2
+	res, err := lattecc.Run(cfg, "BO", lattecc.Uncompressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := lattecc.EvaluateEnergy(res, lattecc.DefaultEnergyParams())
+	if eb.Total() <= 0 || eb.Static <= 0 || eb.Exec <= 0 {
+		t.Fatalf("degenerate energy breakdown: %+v", eb)
+	}
+}
+
+func TestPublicAPIExperimentsListed(t *testing.T) {
+	if len(lattecc.Experiments()) < 18 {
+		t.Fatalf("only %d experiments exposed", len(lattecc.Experiments()))
+	}
+}
