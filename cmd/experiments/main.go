@@ -53,11 +53,21 @@ func main() {
 				fmt.Fprintf(os.Stderr, "%s has no tabular form; skipping in CSV mode\n", e.ID)
 				return
 			}
-			fmt.Printf("# %s: %s\n%s\n", e.ID, e.Title, e.Table(suite).CSV())
+			tab, err := e.Table(suite)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("# %s: %s\n%s\n", e.ID, e.Title, tab.CSV())
 			return
 		}
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
-		fmt.Println(e.Run(suite))
+		out, err := e.Run(suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
 		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 

@@ -1,0 +1,81 @@
+// Command lattelint runs LATTE-CC's simulator-aware static analyses
+// (package internal/lint) over the module: determinism, panic-audit,
+// config-mutation, and stats-integrity. See DESIGN.md § Determinism &
+// verification for what each rule enforces and how to suppress a
+// finding with //lint:allow.
+//
+// Usage:
+//
+//	lattelint ./...                 # whole module
+//	lattelint ./internal/sim        # one package
+//	lattelint -rules                # list rules and exit
+//
+// Exit status is 1 when any finding (or an unjustified //lint:allow)
+// remains, 0 on a clean tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lattecc/internal/lint"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "list rules and exit")
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range lint.Rules() {
+			fmt.Printf("%-16s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lattelint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lattelint:", err)
+		os.Exit(2)
+	}
+
+	findings := lint.Run(pkgs)
+	for _, p := range pkgs {
+		findings = append(findings, lint.MissingReasons(p)...)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lattelint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}

@@ -13,9 +13,11 @@
 package cache
 
 import (
+	"bytes"
 	"fmt"
 
 	"lattecc/internal/compress"
+	"lattecc/internal/invariant"
 	"lattecc/internal/modes"
 )
 
@@ -316,6 +318,7 @@ func (c *Cache) Fill(addr uint64, data []byte, now uint64) modes.Mode {
 
 	mode := c.ctrl.InsertMode(si)
 	if !mode.Valid() {
+		//lint:allow panic-audit controller contract violation corrupts every stat; halt the run
 		panic(fmt.Sprintf("cache: controller returned invalid mode %d", mode))
 	}
 	sub := c.subBlocksPerLine()
@@ -327,6 +330,9 @@ func (c *Cache) Fill(addr uint64, data []byte, now uint64) modes.Mode {
 		} else {
 			enc := codec.Compress(data)
 			gen = enc.Generation
+			if invariant.Active() {
+				c.verifyEncoding(codec, enc, data)
+			}
 			if c.cfg.LatencyOnly {
 				sub = c.subBlocksPerLine()
 			} else {
@@ -353,6 +359,7 @@ func (c *Cache) Fill(addr uint64, data []byte, now uint64) modes.Mode {
 	// Make room: need a free tag and sub sub-blocks.
 	for !c.hasRoom(s, sub) {
 		if !c.evictLRU(s) {
+			//lint:allow panic-audit unreachable by geometry; continuing would loop forever
 			panic("cache: cannot make room — geometry bug")
 		}
 	}
@@ -369,7 +376,47 @@ func (c *Cache) Fill(addr uint64, data []byte, now uint64) modes.Mode {
 	c.stats.Fills++
 	c.stats.InsertsByMode[mode]++
 	c.stats.SubBlocksByMode[mode] += uint64(sub)
+	if invariant.Active() {
+		c.checkSet(si)
+	}
 	return mode
+}
+
+// verifyEncoding runs the paranoid-mode fill checks: the compressed size
+// must fit in (0, LineSize], and the encoding must round-trip back to
+// the exact inserted bytes (a codec that silently corrupts data would
+// otherwise only skew hit latencies, never fail a run).
+func (c *Cache) verifyEncoding(codec compress.Codec, enc compress.Encoded, data []byte) {
+	invariant.Assert(enc.Size > 0 && enc.Size <= c.cfg.LineSize,
+		"%s: compressed size %d outside (0, %d]", codec.Name(), enc.Size, c.cfg.LineSize)
+	dec, err := codec.Decompress(enc)
+	if err != nil {
+		invariant.Violationf("%s: fill round trip: %v", codec.Name(), err)
+	}
+	invariant.Assert(bytes.Equal(dec, data),
+		"%s: fill round trip produced different bytes", codec.Name())
+}
+
+// checkSet verifies one set's occupancy accounting after a structural
+// change: allocated sub-blocks of valid lines plus the free count must
+// equal the set's capacity, and no line may exceed an uncompressed
+// line's footprint.
+func (c *Cache) checkSet(si int) {
+	s := &c.sets[si]
+	used := 0
+	for i := range s.lines {
+		if !s.lines[i].valid {
+			continue
+		}
+		sub := s.lines[i].subBlocks
+		invariant.Assert(sub > 0 && sub <= c.subBlocksPerLine(),
+			"set %d: line holds %d sub-blocks, line size is %d", si, sub, c.subBlocksPerLine())
+		used += sub
+	}
+	invariant.Assert(used+s.freeSub == s.totalSub,
+		"set %d: occupancy %d + free %d != capacity %d", si, used, s.freeSub, s.totalSub)
+	invariant.Assert(s.freeSub >= 0,
+		"set %d: negative free sub-blocks %d", si, s.freeSub)
 }
 
 // hasRoom reports whether the set has a free tag and sub free sub-blocks.

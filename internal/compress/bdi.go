@@ -207,6 +207,7 @@ func bdiReadBlock(b []byte, size int) int64 {
 	case 8:
 		return int64(binary.LittleEndian.Uint64(b))
 	default:
+		//lint:allow panic-audit block size is one of the fixed BDI geometries; any other value is a codec bug
 		panic("compress: bad BDI block size")
 	}
 }

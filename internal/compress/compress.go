@@ -127,6 +127,7 @@ type bitWriter struct {
 // WriteBits appends the low n bits of v (n <= 64), most significant first.
 func (w *bitWriter) WriteBits(v uint64, n uint) {
 	if n > 64 {
+		//lint:allow panic-audit bit-count is a compile-time codec constant; >64 is a codec bug, not input
 		panic("compress: WriteBits n > 64")
 	}
 	for i := int(n) - 1; i >= 0; i-- {
@@ -160,6 +161,7 @@ type bitReader struct {
 // returns an error if the stream is exhausted.
 func (r *bitReader) ReadBits(n uint) (uint64, error) {
 	if n > 64 {
+		//lint:allow panic-audit bit-count is a compile-time codec constant; >64 is a codec bug, not input
 		panic("compress: ReadBits n > 64")
 	}
 	var v uint64

@@ -49,6 +49,7 @@ func fpcPayloadBits(p uint64) uint {
 	case fpcUncompr:
 		return 32
 	default:
+		//lint:allow panic-audit pattern tags are an exhaustive 3-bit enum written by this codec
 		panic("compress: bad FPC pattern")
 	}
 }

@@ -176,6 +176,7 @@ func (t *VFT) Len() int { return len(t.counts) }
 // Snapshot returns the tracked values and counts.
 func (t *VFT) Snapshot() map[uint32]uint16 {
 	out := make(map[uint32]uint16, len(t.counts))
+	//lint:allow determinism map-to-map copy; iteration order cannot affect the result
 	for v, c := range t.counts {
 		out[v] = c
 	}
@@ -250,6 +251,7 @@ func buildHuffTable(counts map[uint32]uint16) *huffTable {
 		weight uint64
 	}
 	syms := make([]sym, 0, len(counts)+1)
+	//lint:allow determinism symbols are sorted by value immediately below, erasing map order
 	for v, c := range counts {
 		syms = append(syms, sym{value: v, weight: uint64(c)})
 	}

@@ -145,3 +145,27 @@ func Savings(run, baseline Breakdown) SavingsBreakdown {
 	s.Net = s.Static + s.DataMovement + s.MemHierarchy + s.Exec + s.CodecCost
 	return s
 }
+
+// Add accumulates another breakdown into s, category by category. Callers
+// averaging over a workload suite (Figure 14's MEAN row) sum with Add and
+// divide with Scale, keeping metric arithmetic inside this package.
+func (s *SavingsBreakdown) Add(o SavingsBreakdown) {
+	s.Static += o.Static
+	s.DataMovement += o.DataMovement
+	s.MemHierarchy += o.MemHierarchy
+	s.Exec += o.Exec
+	s.CodecCost += o.CodecCost
+	s.Net += o.Net
+}
+
+// Scale returns s with every category multiplied by f.
+func (s SavingsBreakdown) Scale(f float64) SavingsBreakdown {
+	return SavingsBreakdown{
+		Static:       s.Static * f,
+		DataMovement: s.DataMovement * f,
+		MemHierarchy: s.MemHierarchy * f,
+		Exec:         s.Exec * f,
+		CodecCost:    s.CodecCost * f,
+		Net:          s.Net * f,
+	}
+}

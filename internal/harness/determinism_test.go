@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"lattecc/internal/invariant"
+)
+
+// TestDeterministicReplay is the repo's bit-determinism lock: two fresh
+// suites over the same config must produce byte-identical results for
+// every (workload, policy) pair, compared via the FNV-1a fold of every
+// counter in sim.Result. It runs with the paranoid invariant layer
+// forced on, so compressed-size bounds, set occupancy, and fill
+// round-trips are also re-verified on both passes.
+func TestDeterministicReplay(t *testing.T) {
+	prev := invariant.SetActive(true)
+	defer invariant.SetActive(prev)
+
+	cfg := quickConfig()
+	cfg.MaxInstructions = 300_000 // keep both passes fast
+
+	workloads := []string{"BO", "SS", "FW"}
+	policies := []Policy{Uncompressed, LatteCC, StaticBDI}
+
+	pass := func() map[string]uint64 {
+		s := NewSuite(cfg)
+		hashes := map[string]uint64{}
+		for _, w := range workloads {
+			for _, p := range policies {
+				res, err := s.Run(w, p, Variant{})
+				if err != nil {
+					t.Fatalf("%s/%s: %v", w, p, err)
+				}
+				hashes[w+"/"+string(p)] = res.StateHash()
+			}
+		}
+		return hashes
+	}
+
+	first := pass()
+	second := pass()
+	for k, h1 := range first {
+		if h2 := second[k]; h1 != h2 {
+			t.Errorf("%s: state hash diverged across replays: %#x vs %#x", k, h1, h2)
+		}
+	}
+}
+
+// TestConcurrentSuiteAccess drives one shared Suite from several
+// goroutines. Under `go test -race` (the CI configuration) this fails
+// on any unsynchronised access to the result cache; it also checks the
+// concurrent results agree with a serial replay.
+func TestConcurrentSuiteAccess(t *testing.T) {
+	cfg := quickConfig()
+	cfg.MaxInstructions = 150_000
+
+	jobs := []struct {
+		w string
+		p Policy
+	}{
+		{"BO", Uncompressed}, {"BO", LatteCC},
+		{"SS", Uncompressed}, {"SS", LatteCC},
+	}
+
+	s := NewSuite(cfg)
+	got := make([]uint64, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, w string, p Policy) {
+			defer wg.Done()
+			res, err := s.Run(w, p, Variant{})
+			if err != nil {
+				t.Errorf("%s/%s: %v", w, p, err)
+				return
+			}
+			got[i] = res.StateHash()
+		}(i, j.w, j.p)
+	}
+	wg.Wait()
+
+	serial := NewSuite(cfg)
+	for i, j := range jobs {
+		res, err := serial.Run(j.w, j.p, Variant{})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", j.w, j.p, err)
+		}
+		if res.StateHash() != got[i] {
+			t.Errorf("%s/%s: concurrent result diverges from serial replay", j.w, j.p)
+		}
+	}
+}

@@ -18,11 +18,24 @@ import (
 type Experiment struct {
 	ID    string
 	Title string
-	// Run renders the experiment as human-readable text.
-	Run func(s *Suite) string
+	// Run renders the experiment as human-readable text. Simulation
+	// failures (unknown workloads, zero-cycle runs) come back as errors
+	// for the cmd/ binaries to surface; they never panic.
+	Run func(s *Suite) (string, error)
 	// Table returns the underlying data table for machine-readable output
 	// (CSV); nil for prose/series experiments (fig5, fig16, ablation).
-	Table func(s *Suite) *stats.Table
+	Table func(s *Suite) (*stats.Table, error)
+}
+
+// renderTable adapts a table builder into an Experiment.Run renderer.
+func renderTable(f func(*Suite) (*stats.Table, error)) func(*Suite) (string, error) {
+	return func(s *Suite) (string, error) {
+		t, err := f(s)
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	}
 }
 
 // Experiments lists every table and figure of the paper's evaluation, in
@@ -139,7 +152,7 @@ func ratioOver(c compress.Codec, lines [][]byte) float64 {
 
 // Tab1 reproduces Table I: per-algorithm decompression latency and the
 // measured average compression ratio over the whole suite's data.
-func tab1Table(s *Suite) *stats.Table {
+func tab1Table(s *Suite) (*stats.Table, error) {
 	var all [][]byte
 	for _, w := range workload.All() {
 		all = append(all, sampledLines(w, 200)...)
@@ -152,11 +165,11 @@ func tab1Table(s *Suite) *stats.Table {
 	for _, c := range allCodecs(all) {
 		t.AddRow(c.Name(), c.DecompLatency(), c.CompLatency(), ratioOver(c, all), locality[c.Name()])
 	}
-	return t
+	return t, nil
 }
 
 // Tab1 renders the table.
-func Tab1(s *Suite) string { return tab1Table(s).String() }
+func Tab1(s *Suite) (string, error) { return renderTable(tab1Table)(s) }
 
 // fig1Workloads are the example workloads of Figure 1.
 var fig1Workloads = []string{"PRK", "CLR", "MIS", "BC", "FW"}
@@ -165,7 +178,7 @@ var fig1Workloads = []string{"PRK", "CLR", "MIS", "BC", "FW"}
 var fig1Latencies = []uint64{0, 2, 5, 9, 14}
 
 // Fig1 reproduces Figure 1: normalized IPC as L1 hit latency grows.
-func fig1Table(s *Suite) *stats.Table {
+func fig1Table(s *Suite) (*stats.Table, error) {
 	header := []string{"workload"}
 	for _, l := range fig1Latencies {
 		header = append(header, fmt.Sprintf("+%d", l))
@@ -180,15 +193,15 @@ func fig1Table(s *Suite) *stats.Table {
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // Fig1 renders the table.
-func Fig1(s *Suite) string { return fig1Table(s).String() }
+func Fig1(s *Suite) (string, error) { return renderTable(fig1Table)(s) }
 
 // Fig2 reproduces Figure 2: per-workload compression ratio under the five
 // algorithms, over the lines the workload actually inserts.
-func fig2Table(s *Suite) *stats.Table {
+func fig2Table(s *Suite) (*stats.Table, error) {
 	t := stats.NewTable("workload", "BDI", "FPC", "CPACK-Z", "BPC", "SC")
 	var sums [5]float64
 	n := 0
@@ -209,26 +222,26 @@ func fig2Table(s *Suite) *stats.Table {
 		avg = append(avg, s/float64(n))
 	}
 	t.AddRow(avg...)
-	return t
+	return t, nil
 }
 
 // Fig2 renders the table.
-func Fig2(s *Suite) string { return fig2Table(s).String() }
+func Fig2(s *Suite) (string, error) { return renderTable(fig2Table)(s) }
 
 // Fig3 reproduces Figure 3: speedup upper bound when compression's
 // capacity is free (zero decompression latency).
-func fig3Table(s *Suite) *stats.Table {
+func fig3Table(s *Suite) (*stats.Table, error) {
 	t := stats.NewTable("workload", "cat", "BDI-cap-only", "SC-cap-only")
 	var bdis, scs []float64
 	for _, name := range Workloads() {
 		cat, _ := Category(name)
 		b, err := s.Speedup(name, StaticBDI, Variant{CapacityOnly: true})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		c, err := s.Speedup(name, StaticSC, Variant{CapacityOnly: true})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		if cat == trace.CSens {
 			bdis = append(bdis, b)
@@ -237,37 +250,40 @@ func fig3Table(s *Suite) *stats.Table {
 		t.AddRow(name, cat.String(), b, c)
 	}
 	t.AddRow("GEOMEAN(C-Sens)", "", stats.Geomean(bdis), stats.Geomean(scs))
-	return t
+	return t, nil
 }
 
 // Fig3 renders the table.
-func Fig3(s *Suite) string { return fig3Table(s).String() }
+func Fig3(s *Suite) (string, error) { return renderTable(fig3Table)(s) }
 
 // Fig4 reproduces Figure 4: slowdown when decompression latency applies
 // but capacity does not.
-func fig4Table(s *Suite) *stats.Table {
+func fig4Table(s *Suite) (*stats.Table, error) {
 	t := stats.NewTable("workload", "cat", "BDI-lat-only", "SC-lat-only")
 	for _, name := range Workloads() {
 		cat, _ := Category(name)
 		b, err := s.Speedup(name, StaticBDI, Variant{LatencyOnly: true})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		c, err := s.Speedup(name, StaticSC, Variant{LatencyOnly: true})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		t.AddRow(name, cat.String(), b, c)
 	}
-	return t
+	return t, nil
 }
 
 // Fig4 renders the table.
-func Fig4(s *Suite) string { return fig4Table(s).String() }
+func Fig4(s *Suite) (string, error) { return renderTable(fig4Table)(s) }
 
 // Fig5 reproduces Figure 5: SS's latency-tolerance estimate over time.
-func Fig5(s *Suite) string {
-	res := s.MustRun("SS", LatteCC, Variant{SampleSeries: true})
+func Fig5(s *Suite) (string, error) {
+	res, err := s.Run("SS", LatteCC, Variant{SampleSeries: true})
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "SS latency tolerance over time (SM0, %d samples)\n", res.ToleranceSeries.Len())
 	fmt.Fprintf(&b, "%s\n\n", stats.Sparkline(res.ToleranceSeries.Points(), 72))
@@ -276,12 +292,12 @@ func Fig5(s *Suite) string {
 		t.AddRow(p.Cycle, p.Value)
 	}
 	b.WriteString(t.String())
-	return b.String()
+	return b.String(), nil
 }
 
 // Fig6 reproduces Figure 6: potential performance (a) and energy (b)
 // impact of Static-BDI, Static-SC, and the adaptive scheme, C-Sens.
-func fig6Table(s *Suite) *stats.Table {
+func fig6Table(s *Suite) (*stats.Table, error) {
 	t := stats.NewTable("workload", "BDI-spd", "SC-spd", "LATTE-spd", "BDI-energy", "SC-energy", "LATTE-energy")
 	p := energy.DefaultParams()
 	for _, name := range CSensNames() {
@@ -297,14 +313,14 @@ func fig6Table(s *Suite) *stats.Table {
 		row = append(row, spd[0], spd[1], spd[2], en[0], en[1], en[2])
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // Fig6 renders the table.
-func Fig6(s *Suite) string { return fig6Table(s).String() }
+func Fig6(s *Suite) (string, error) { return renderTable(fig6Table)(s) }
 
 // Tab2 prints the simulated configuration (Table II).
-func tab2Table(s *Suite) *stats.Table {
+func tab2Table(s *Suite) (*stats.Table, error) {
 	cfg := s.Config()
 	t := stats.NewTable("parameter", "value")
 	t.AddRow("Num. of SMs", cfg.NumSMs)
@@ -321,14 +337,14 @@ func tab2Table(s *Suite) *stats.Table {
 	t.AddRow("Warp scheduler", "GTO")
 	t.AddRow("MSHRs per SM", cfg.MSHRs)
 	t.AddRow("L1 ports", cfg.L1Ports)
-	return t
+	return t, nil
 }
 
 // Tab2 renders the table.
-func Tab2(s *Suite) string { return tab2Table(s).String() }
+func Tab2(s *Suite) (string, error) { return renderTable(tab2Table)(s) }
 
 // Tab3 prints the benchmark suite (Table III).
-func tab3Table(s *Suite) *stats.Table {
+func tab3Table(s *Suite) (*stats.Table, error) {
 	t := stats.NewTable("abbr", "category", "kernels", "approx-insts")
 	for _, w := range workload.All() {
 		var insts int
@@ -345,17 +361,17 @@ func tab3Table(s *Suite) *stats.Table {
 		}
 		t.AddRow(w.Name(), w.Category().String(), len(w.Kernels()), insts)
 	}
-	return t
+	return t, nil
 }
 
 // Tab3 renders the table.
-func Tab3(s *Suite) string { return tab3Table(s).String() }
+func Tab3(s *Suite) (string, error) { return renderTable(tab3Table)(s) }
 
 // fig11Policies is the Figure 11 policy set.
 var fig11Policies = []Policy{StaticBDI, StaticSC, LatteCC, KernelOpt}
 
 // Fig11 reproduces Figure 11: speedup over the uncompressed baseline.
-func fig11Table(s *Suite) *stats.Table {
+func fig11Table(s *Suite) (*stats.Table, error) {
 	header := []string{"workload", "cat"}
 	for _, p := range fig11Policies {
 		header = append(header, string(p))
@@ -368,7 +384,7 @@ func fig11Table(s *Suite) *stats.Table {
 		for _, p := range fig11Policies {
 			spd, err := s.Speedup(name, p, Variant{})
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			row = append(row, spd)
 			if cat == trace.CSens {
@@ -382,14 +398,14 @@ func fig11Table(s *Suite) *stats.Table {
 		row = append(row, stats.Geomean(agg[p]))
 	}
 	t.AddRow(row...)
-	return t
+	return t, nil
 }
 
 // Fig11 renders the table.
-func Fig11(s *Suite) string { return fig11Table(s).String() }
+func Fig11(s *Suite) (string, error) { return renderTable(fig11Table)(s) }
 
 // Fig12 reproduces Figure 12: L1 miss reduction per policy.
-func fig12Table(s *Suite) *stats.Table {
+func fig12Table(s *Suite) (*stats.Table, error) {
 	header := []string{"workload", "cat"}
 	for _, p := range fig11Policies {
 		header = append(header, string(p))
@@ -402,7 +418,7 @@ func fig12Table(s *Suite) *stats.Table {
 		for _, p := range fig11Policies {
 			mr, err := s.MissReduction(name, p)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			row = append(row, mr)
 			if cat == trace.CSens {
@@ -416,14 +432,14 @@ func fig12Table(s *Suite) *stats.Table {
 		row = append(row, stats.Mean(agg[p]))
 	}
 	t.AddRow(row...)
-	return t
+	return t, nil
 }
 
 // Fig12 renders the table.
-func Fig12(s *Suite) string { return fig12Table(s).String() }
+func Fig12(s *Suite) (string, error) { return renderTable(fig12Table)(s) }
 
 // Fig13 reproduces Figure 13: GPU energy normalized to the baseline.
-func fig13Table(s *Suite) *stats.Table {
+func fig13Table(s *Suite) (*stats.Table, error) {
 	pols := []Policy{StaticBDI, StaticSC, LatteCC}
 	header := []string{"workload", "cat"}
 	for _, p := range pols {
@@ -450,15 +466,15 @@ func fig13Table(s *Suite) *stats.Table {
 		row = append(row, stats.Mean(agg[p]))
 	}
 	t.AddRow(row...)
-	return t
+	return t, nil
 }
 
 // Fig13 renders the table.
-func Fig13(s *Suite) string { return fig13Table(s).String() }
+func Fig13(s *Suite) (string, error) { return renderTable(fig13Table)(s) }
 
 // Fig14 reproduces Figure 14: the breakdown of LATTE-CC's energy savings
 // for C-Sens workloads.
-func fig14Table(s *Suite) *stats.Table {
+func fig14Table(s *Suite) (*stats.Table, error) {
 	t := stats.NewTable("workload", "static", "data-movement", "mem-hierarchy", "exec", "codec-cost", "net")
 	params := energy.DefaultParams()
 	var sums energy.SavingsBreakdown
@@ -468,31 +484,26 @@ func fig14Table(s *Suite) *stats.Table {
 		run := energy.Evaluate(s.MustRun(name, LatteCC, Variant{}), params)
 		sv := energy.Savings(run, base)
 		t.AddRow(name, sv.Static, sv.DataMovement, sv.MemHierarchy, sv.Exec, sv.CodecCost, sv.Net)
-		sums.Static += sv.Static
-		sums.DataMovement += sv.DataMovement
-		sums.MemHierarchy += sv.MemHierarchy
-		sums.Exec += sv.Exec
-		sums.CodecCost += sv.CodecCost
-		sums.Net += sv.Net
+		sums.Add(sv)
 		n++
 	}
-	f := float64(n)
-	t.AddRow("MEAN", sums.Static/f, sums.DataMovement/f, sums.MemHierarchy/f, sums.Exec/f, sums.CodecCost/f, sums.Net/f)
-	return t
+	mean := sums.Scale(1 / float64(n))
+	t.AddRow("MEAN", mean.Static, mean.DataMovement, mean.MemHierarchy, mean.Exec, mean.CodecCost, mean.Net)
+	return t, nil
 }
 
 // Fig14 renders the table.
-func Fig14(s *Suite) string { return fig14Table(s).String() }
+func Fig14(s *Suite) (string, error) { return renderTable(fig14Table)(s) }
 
 // Fig15 reproduces Figure 15: fraction of execution where LATTE-CC's
 // decision agrees with Kernel-OPT's, and the performance delta.
-func fig15Table(s *Suite) *stats.Table {
+func fig15Table(s *Suite) (*stats.Table, error) {
 	t := stats.NewTable("workload", "agree-frac", "perf-delta(KernelOPT - LATTE)")
 	for _, name := range CSensNames() {
 		latte := s.MustRun(name, LatteCC, Variant{})
 		sched, err := s.kernelOptSchedule(name, Variant{})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		agree, total := 0, 0
 		for i, m := range latte.EPLog {
@@ -516,18 +527,21 @@ func fig15Table(s *Suite) *stats.Table {
 		kspd, _ := s.Speedup(name, KernelOpt, Variant{})
 		t.AddRow(name, frac, kspd-lspd)
 	}
-	return t
+	return t, nil
 }
 
 // Fig15 renders the table.
-func Fig15(s *Suite) string { return fig15Table(s).String() }
+func Fig15(s *Suite) (string, error) { return renderTable(fig15Table)(s) }
 
 // Fig16 reproduces Figure 16: SS's effective cache capacity over time for
 // Static-BDI, Static-SC, and LATTE-CC.
-func Fig16(s *Suite) string {
+func Fig16(s *Suite) (string, error) {
 	var b strings.Builder
 	for _, p := range []Policy{StaticBDI, StaticSC, LatteCC} {
-		res := s.MustRun("SS", p, Variant{SampleSeries: true})
+		res, err := s.Run("SS", p, Variant{SampleSeries: true})
+		if err != nil {
+			return "", err
+		}
 		pts := res.CapacitySeries.Points()
 		var avg float64
 		for _, pt := range pts {
@@ -538,7 +552,10 @@ func Fig16(s *Suite) string {
 		}
 		fmt.Fprintf(&b, "%-12s avg effective capacity %.2fx (%d samples)\n", p, avg, len(pts))
 	}
-	res := s.MustRun("SS", LatteCC, Variant{SampleSeries: true})
+	res, err := s.Run("SS", LatteCC, Variant{SampleSeries: true})
+	if err != nil {
+		return "", err
+	}
 	fmt.Fprintf(&b, "\nLATTE-CC capacity over time:\n%s\n\n", stats.Sparkline(res.CapacitySeries.Points(), 72))
 	b.WriteString("LATTE-CC capacity series:\n")
 	t := stats.NewTable("cycle", "effective-capacity-x")
@@ -546,12 +563,12 @@ func Fig16(s *Suite) string {
 		t.AddRow(p.Cycle, p.Value)
 	}
 	b.WriteString(t.String())
-	return b.String()
+	return b.String(), nil
 }
 
 // Fig17 reproduces Figure 17: LATTE-CC against the tolerance-blind
 // adaptive baselines, C-Sens workloads.
-func fig17Table(s *Suite) *stats.Table {
+func fig17Table(s *Suite) (*stats.Table, error) {
 	pols := []Policy{AdaptiveHits, AdaptiveCMP, LatteCC}
 	header := []string{"workload"}
 	for _, p := range pols {
@@ -564,7 +581,7 @@ func fig17Table(s *Suite) *stats.Table {
 		for _, p := range pols {
 			spd, err := s.Speedup(name, p, Variant{})
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			mr, _ := s.MissReduction(name, p)
 			row = append(row, spd, mr)
@@ -577,39 +594,39 @@ func fig17Table(s *Suite) *stats.Table {
 		row = append(row, stats.Geomean(agg[p]), "")
 	}
 	t.AddRow(row...)
-	return t
+	return t, nil
 }
 
 // Fig17 renders the table.
-func Fig17(s *Suite) string { return fig17Table(s).String() }
+func Fig17(s *Suite) (string, error) { return renderTable(fig17Table)(s) }
 
 // Fig18 reproduces Figure 18: LATTE-CC with BDI+BPC component codecs.
-func fig18Table(s *Suite) *stats.Table {
+func fig18Table(s *Suite) (*stats.Table, error) {
 	t := stats.NewTable("workload", "LATTE-CC", "LATTE-CC-BDI-BPC")
 	var a, b []float64
 	for _, name := range CSensNames() {
 		l, err := s.Speedup(name, LatteCC, Variant{})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		bp, err := s.Speedup(name, LatteBDIBPC, Variant{})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		a = append(a, l)
 		b = append(b, bp)
 		t.AddRow(name, l, bp)
 	}
 	t.AddRow("GEOMEAN", stats.Geomean(a), stats.Geomean(b))
-	return t
+	return t, nil
 }
 
 // Fig18 renders the table.
-func Fig18(s *Suite) string { return fig18Table(s).String() }
+func Fig18(s *Suite) (string, error) { return renderTable(fig18Table)(s) }
 
 // Sens48K reproduces the Section V-E cache-size sensitivity: the same
 // comparison with a 48KB L1 (the alternative NVIDIA carve-out).
-func sens48KTable(s *Suite) *stats.Table {
+func sens48KTable(s *Suite) (*stats.Table, error) {
 	cfg := s.Config()
 	cfg.Cache.SizeBytes = 48 * 1024
 	big := NewSuite(cfg)
@@ -619,27 +636,27 @@ func sens48KTable(s *Suite) *stats.Table {
 	for _, name := range CSensNames() {
 		b, err := big.Speedup(name, StaticBDI, Variant{})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		l, err := big.Speedup(name, LatteCC, Variant{})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		bs, ls = append(bs, b), append(ls, l)
 		t.AddRow(name, b, l)
 	}
 	t.AddRow("GEOMEAN", stats.Geomean(bs), stats.Geomean(ls))
-	return t
+	return t, nil
 }
 
 // Sens48K renders the table.
-func Sens48K(s *Suite) string { return sens48KTable(s).String() }
+func Sens48K(s *Suite) (string, error) { return renderTable(sens48KTable)(s) }
 
 // WritePolicy verifies the paper's Section IV-C3 claim that the L1 write
 // policy has negligible performance impact, by re-running store-carrying
 // workloads with a write-through L1 (write hits expand compressed lines
 // and may evict neighbours) against the default write-avoid policy.
-func writePolicyTable(s *Suite) *stats.Table {
+func writePolicyTable(s *Suite) (*stats.Table, error) {
 	cfg := s.Config()
 	cfg.WriteThroughL1 = true
 	wt := NewSuite(cfg)
@@ -648,11 +665,11 @@ func writePolicyTable(s *Suite) *stats.Table {
 	for _, name := range []string{"FWT", "BP", "WC", "SR1", "SS", "KM"} {
 		a, err := s.Speedup(name, LatteCC, Variant{})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		b, err := wt.Speedup(name, LatteCC, Variant{})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		t.AddRow(name, a, b, 100*(b/a-1))
 	}
@@ -672,39 +689,45 @@ func writePolicyTable(s *Suite) *stats.Table {
 			},
 		}},
 	}
-	stressSpeedup := func(cfg sim.Config) float64 {
+	stressSpeedup := func(cfg sim.Config) (float64, error) {
 		baseRes, err := RunWorkload(cfg, stress, Uncompressed)
 		if err != nil {
-			panic(err)
+			return 0, err
 		}
 		res, err := RunWorkload(cfg, stress, LatteCC)
 		if err != nil {
-			panic(err)
+			return 0, err
 		}
-		return float64(baseRes.Cycles) / float64(res.Cycles)
+		return float64(baseRes.Cycles) / float64(res.Cycles), nil
 	}
-	a := stressSpeedup(s.Config())
+	a, err := stressSpeedup(s.Config())
+	if err != nil {
+		return nil, err
+	}
 	bCfg := s.Config()
 	bCfg.WriteThroughL1 = true
-	bv := stressSpeedup(bCfg)
+	bv, err := stressSpeedup(bCfg)
+	if err != nil {
+		return nil, err
+	}
 	t.AddRow("WSTRESS(bound)", a, bv, 100*(bv/a-1))
-	return t
+	return t, nil
 }
 
 // WritePolicy renders the table.
-func WritePolicy(s *Suite) string { return writePolicyTable(s).String() }
+func WritePolicy(s *Suite) (string, error) { return renderTable(writePolicyTable)(s) }
 
 // SensParams sweeps LATTE-CC's own parameters (Section IV-C3 choices) on
 // SS: the EP length, the number of dedicated sampling sets, and the
 // decompressor initiation interval.
-func sensParamsTable(s *Suite) *stats.Table {
+func sensParamsTable(s *Suite) (*stats.Table, error) {
 	base, err := s.Run("SS", Uncompressed, Variant{})
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	w, err := workload.ByName("SS")
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	latteSpeedup := func(cfg sim.Config, mutate func(*core.Config)) float64 {
 		res := sim.New(cfg, w, func(n int) modes.Controller {
@@ -731,99 +754,114 @@ func sensParamsTable(s *Suite) *stats.Table {
 		cfg.Cache.DecompInitInterval = ii
 		t.AddRow("decompressor II (cycles)", ii, latteSpeedup(cfg, nil))
 	}
-	return t
+	return t, nil
 }
 
 // SensParams renders the table.
-func SensParams(s *Suite) string { return sensParamsTable(s).String() }
+func SensParams(s *Suite) (string, error) { return renderTable(sensParamsTable)(s) }
 
 // Ablation quantifies the design choices DESIGN.md sections 4-5 call
 // out, on a representative C-Sens pair (one SC-affine, one BDI-affine)
 // plus a latency-critical C-InSens victim.
-func Ablation(s *Suite) string {
+func Ablation(s *Suite) (string, error) {
 	var b strings.Builder
 	b.WriteString("Ablations on SS (SC-affine), FW (BDI-affine), NW (latency-critical):\n\n")
 	names := []string{"SS", "FW", "NW"}
 	t := stats.NewTable("ablation", "SS", "FW", "NW")
 
-	row := func(label string, run func(name string) float64) {
+	row := func(label string, run func(name string) (float64, error)) error {
 		cells := []interface{}{label}
 		for _, n := range names {
-			cells = append(cells, run(n))
+			v, err := run(n)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, v)
 		}
 		t.AddRow(cells...)
+		return nil
 	}
 
-	speedupWith := func(suite *Suite, name string) float64 {
-		spd, err := suite.Speedup(name, LatteCC, Variant{})
-		if err != nil {
-			panic(err)
-		}
-		return spd
+	speedupWith := func(suite *Suite, name string) (float64, error) {
+		return suite.Speedup(name, LatteCC, Variant{})
 	}
 
 	// Default configuration.
-	row("default", func(n string) float64 { return speedupWith(s, n) })
+	if err := row("default", func(n string) (float64, error) { return speedupWith(s, n) }); err != nil {
+		return "", err
+	}
 
 	// 1. Unbounded decompressor (Equation 3 queue term removed).
 	cfg := s.Config()
 	cfg.Cache.UnboundedDecompressor = true
 	noQueue := NewSuite(cfg)
-	row("no-decomp-queue", func(n string) float64 { return speedupWith(noQueue, n) })
+	if err := row("no-decomp-queue", func(n string) (float64, error) { return speedupWith(noQueue, n) }); err != nil {
+		return "", err
+	}
 
 	// 2. Paper-literal controller layout: learning first (cold-biased
 	// sampling), no warmup decontamination, no sampling backoff.
-	row("paper-literal-controller", func(n string) float64 {
+	if err := row("paper-literal-controller", func(n string) (float64, error) {
 		return latteVariantSpeedup(s, n, func(c *core.Config) {
 			c.LearningStartEP = 0
 			c.WarmupEPs = 0
 			c.SampleEveryPeriods = 0
 		})
-	})
+	}); err != nil {
+		return "", err
+	}
 
 	// 3. No hit-count carryover EP (Section III-B1's generational-reuse
 	// argument).
-	row("no-carryover", func(n string) float64 {
+	if err := row("no-carryover", func(n string) (float64, error) {
 		return latteVariantSpeedup(s, n, func(c *core.Config) { c.CarryoverEPs = 0 })
-	})
+	}); err != nil {
+		return "", err
+	}
 
 	// 4. No sampling backoff (pay the sampling overhead every period).
-	row("no-sampling-backoff", func(n string) float64 {
+	if err := row("no-sampling-backoff", func(n string) (float64, error) {
 		return latteVariantSpeedup(s, n, func(c *core.Config) { c.SampleEveryPeriods = 0 })
-	})
+	}); err != nil {
+		return "", err
+	}
 
 	// 5. Round-robin scheduler (Section III-B2's simpler tolerance case).
 	rrCfg := s.Config()
 	rrCfg.Scheduler = sim.SchedRR
 	rr := NewSuite(rrCfg)
-	row("rr-scheduler", func(n string) float64 { return speedupWith(rr, n) })
+	if err := row("rr-scheduler", func(n string) (float64, error) { return speedupWith(rr, n) }); err != nil {
+		return "", err
+	}
 
 	// 6. Decompressed-line buffer extension (beyond the paper): 8 entries
 	// of recently decompressed lines short-circuit repeat decompressions.
 	bufCfg := s.Config()
 	bufCfg.Cache.DecompBufferEntries = 8
 	buf := NewSuite(bufCfg)
-	row("decomp-buffer-8", func(n string) float64 { return speedupWith(buf, n) })
+	if err := row("decomp-buffer-8", func(n string) (float64, error) { return speedupWith(buf, n) }); err != nil {
+		return "", err
+	}
 
 	b.WriteString(t.String())
-	return b.String()
+	return b.String(), nil
 }
 
 // latteVariantSpeedup runs a workload under a LATTE-CC controller with a
 // modified configuration, against the suite's cached baseline.
-func latteVariantSpeedup(s *Suite, name string, mutate func(*core.Config)) float64 {
+func latteVariantSpeedup(s *Suite, name string, mutate func(*core.Config)) (float64, error) {
 	base, err := s.Run(name, Uncompressed, Variant{})
 	if err != nil {
-		panic(err)
+		return 0, err
 	}
 	w, err := workload.ByName(name)
 	if err != nil {
-		panic(err)
+		return 0, err
 	}
 	res := sim.New(s.Config(), w, func(n int) modes.Controller {
 		cfg := core.DefaultConfig(n)
 		mutate(&cfg)
 		return core.New(cfg)
 	}).Run()
-	return float64(base.Cycles) / float64(res.Cycles)
+	return float64(base.Cycles) / float64(res.Cycles), nil
 }

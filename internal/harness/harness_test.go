@@ -155,23 +155,29 @@ func TestOfflineExperimentsRender(t *testing.T) {
 	// tab1/tab2/tab3/fig2 need no (or almost no) simulation; they must
 	// render non-empty tables with a row per workload / codec.
 	s := NewSuite(quickConfig())
-	out := Tab1(s)
+	out, err := Tab1(s)
+	if err != nil {
+		t.Fatalf("tab1: %v", err)
+	}
 	for _, name := range []string{"BDI", "FPC", "CPACK-Z", "BPC", "SC"} {
 		if !strings.Contains(out, name) {
 			t.Fatalf("tab1 missing %s:\n%s", name, out)
 		}
 	}
-	out = Fig2(s)
+	out, err = Fig2(s)
+	if err != nil {
+		t.Fatalf("fig2: %v", err)
+	}
 	for _, w := range Workloads() {
 		if !strings.Contains(out, w) {
 			t.Fatalf("fig2 missing %s", w)
 		}
 	}
-	if !strings.Contains(Tab2(s), "GTO") {
-		t.Fatal("tab2 must state the scheduler")
+	if out, err = Tab2(s); err != nil || !strings.Contains(out, "GTO") {
+		t.Fatalf("tab2 must state the scheduler (err %v)", err)
 	}
-	if !strings.Contains(Tab3(s), "C-Sens") {
-		t.Fatal("tab3 must show categories")
+	if out, err = Tab3(s); err != nil || !strings.Contains(out, "C-Sens") {
+		t.Fatalf("tab3 must show categories (err %v)", err)
 	}
 }
 
@@ -180,7 +186,11 @@ func TestFig2ShowsAffinityContrast(t *testing.T) {
 	// floats) compresses far better under SC than BDI; FW (stride ints)
 	// the other way.
 	lines := map[string][]string{}
-	for _, l := range strings.Split(Fig2(NewSuite(quickConfig())), "\n") {
+	fig2, err := Fig2(NewSuite(quickConfig()))
+	if err != nil {
+		t.Fatalf("fig2: %v", err)
+	}
+	for _, l := range strings.Split(fig2, "\n") {
 		f := strings.Fields(l)
 		if len(f) >= 6 {
 			lines[f[0]] = f
@@ -296,7 +306,10 @@ func TestSimBackedExperimentsSmoke(t *testing.T) {
 		if !ok {
 			t.Fatalf("missing %s", id)
 		}
-		out := e.Run(s)
+		out, err := e.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
 		if len(out) < 40 {
 			t.Fatalf("%s output suspiciously short: %q", id, out)
 		}
@@ -317,12 +330,18 @@ func TestEveryExperimentRendersOnTinyMachine(t *testing.T) {
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			out := e.Run(s)
+			out, err := e.Run(s)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
 			if len(out) < 40 {
 				t.Fatalf("%s output suspiciously short: %q", e.ID, out)
 			}
 			if e.Table != nil {
-				tab := e.Table(s)
+				tab, err := e.Table(s)
+				if err != nil {
+					t.Fatalf("%s table: %v", e.ID, err)
+				}
 				if len(tab.Rows()) == 0 {
 					t.Fatalf("%s table has no rows", e.ID)
 				}

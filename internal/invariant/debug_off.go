@@ -1,0 +1,7 @@
+//go:build !latteccdebug
+
+package invariant
+
+// BuildEnabled is false in normal builds: assertions run only when
+// LATTECC_PARANOID=1 is set or a test calls SetActive(true).
+const BuildEnabled = false

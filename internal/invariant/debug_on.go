@@ -1,0 +1,7 @@
+//go:build latteccdebug
+
+package invariant
+
+// BuildEnabled reports that this binary was built with the latteccdebug
+// tag: assertions are on from startup, no environment variable needed.
+const BuildEnabled = true

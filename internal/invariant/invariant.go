@@ -1,0 +1,121 @@
+// Package invariant is the simulator's runtime self-checking layer. The
+// cycle-level packages call into it at structural boundaries (cache
+// fills, evictions, compression round trips) to verify properties that
+// must hold for an experiment to be meaningful: compressed sizes stay
+// within a cache line, set occupancy never exceeds capacity, and every
+// compressed line decompresses back to the bytes that were inserted.
+//
+// Assertions are off in normal builds so the hot paths stay hot. They
+// turn on when either
+//
+//   - the binary is built with the latteccdebug build tag
+//     (go test -tags latteccdebug ./...), or
+//   - the LATTECC_PARANOID=1 environment variable is set at startup, or
+//   - a test calls SetActive(true).
+//
+// The package also provides the FNV-1a state hash the harness uses to
+// prove two runs of the same seed/config are byte-identical: every field
+// of a run's final statistics folds into one uint64, and the determinism
+// regression test asserts the hashes match across runs.
+package invariant
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync/atomic"
+)
+
+// active gates the assertions at runtime. It is atomic so the harness's
+// parallel workers can read it while a test flips it.
+var active atomic.Bool
+
+func init() {
+	if BuildEnabled || os.Getenv("LATTECC_PARANOID") == "1" {
+		active.Store(true)
+	}
+}
+
+// Active reports whether paranoid assertions are enabled. Hot paths
+// should check it before building assertion arguments.
+func Active() bool { return active.Load() }
+
+// SetActive enables or disables assertions, returning the previous
+// state (tests restore it when they finish).
+func SetActive(on bool) bool {
+	prev := active.Load()
+	active.Store(on)
+	return prev
+}
+
+// Assert panics with an invariant-violation message when cond is false
+// and assertions are active. Callers on per-access paths should guard
+// with Active() so argument construction costs nothing in normal runs.
+func Assert(cond bool, format string, args ...interface{}) {
+	if cond || !active.Load() {
+		return
+	}
+	Violationf(format, args...)
+}
+
+// Violationf reports an invariant violation unconditionally. A violation
+// means simulator state is corrupt and every number derived from the run
+// is suspect, so it halts the run rather than returning an error.
+func Violationf(format string, args ...interface{}) {
+	panic("invariant violation: " + fmt.Sprintf(format, args...))
+}
+
+// FNV-1a (64-bit) parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash folds values into a 64-bit FNV-1a state hash. The zero value is
+// not ready for use; call NewHash.
+type Hash struct {
+	h uint64
+}
+
+// NewHash returns a hash at the FNV-1a offset basis.
+func NewHash() *Hash { return &Hash{h: fnvOffset64} }
+
+// Byte folds one byte.
+func (h *Hash) Byte(b byte) {
+	h.h ^= uint64(b)
+	h.h *= fnvPrime64
+}
+
+// Uint64 folds an unsigned integer, little-endian byte order.
+func (h *Hash) Uint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.Byte(byte(v >> (8 * i)))
+	}
+}
+
+// Int folds a signed integer via its two's-complement bits.
+func (h *Hash) Int(v int64) { h.Uint64(uint64(v)) }
+
+// Float64 folds a float through its IEEE-754 bit pattern, so two runs
+// hash equal only when their floats are bit-identical (not merely close).
+func (h *Hash) Float64(v float64) { h.Uint64(math.Float64bits(v)) }
+
+// String folds a length-prefixed string (the prefix keeps concatenated
+// fields from aliasing each other).
+func (h *Hash) String(s string) {
+	h.Uint64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.Byte(s[i])
+	}
+}
+
+// Bytes folds a length-prefixed byte slice.
+func (h *Hash) Bytes(b []byte) {
+	h.Uint64(uint64(len(b)))
+	for _, v := range b {
+		h.Byte(v)
+	}
+}
+
+// Sum returns the current hash state.
+func (h *Hash) Sum() uint64 { return h.h }

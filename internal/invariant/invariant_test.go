@@ -1,0 +1,82 @@
+package invariant
+
+import "testing"
+
+func TestAssertInactiveByDefault(t *testing.T) {
+	prev := SetActive(false)
+	defer SetActive(prev)
+	// Must not panic while inactive, however false the condition.
+	Assert(false, "ignored while inactive")
+}
+
+func TestAssertPanicsWhenActive(t *testing.T) {
+	prev := SetActive(true)
+	defer SetActive(prev)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("active Assert(false) must panic")
+		}
+		msg, ok := r.(string)
+		if !ok || msg != "invariant violation: set 7 over capacity" {
+			t.Fatalf("unexpected panic payload %v", r)
+		}
+	}()
+	Assert(false, "set %d over capacity", 7)
+}
+
+func TestAssertTrueNeverPanics(t *testing.T) {
+	prev := SetActive(true)
+	defer SetActive(prev)
+	Assert(true, "should not fire")
+}
+
+// TestHashKnownVector pins the FNV-1a byte folding to the published
+// constants: hashing "a" (0x61) from the offset basis gives the standard
+// FNV-1a result.
+func TestHashKnownVector(t *testing.T) {
+	h := NewHash()
+	h.Byte('a')
+	const want = uint64(0xaf63dc4c8601ec8c) // FNV-1a 64-bit of "a"
+	if got := h.Sum(); got != want {
+		t.Fatalf("FNV-1a(%q) = %#x, want %#x", "a", got, want)
+	}
+}
+
+func TestHashOrderAndTypeSensitivity(t *testing.T) {
+	a, b := NewHash(), NewHash()
+	a.Uint64(1)
+	a.Uint64(2)
+	b.Uint64(2)
+	b.Uint64(1)
+	if a.Sum() == b.Sum() {
+		t.Fatal("hash must be order sensitive")
+	}
+
+	// Length prefixes keep adjacent strings from aliasing: ("ab","c")
+	// must differ from ("a","bc").
+	c, d := NewHash(), NewHash()
+	c.String("ab")
+	c.String("c")
+	d.String("a")
+	d.String("bc")
+	if c.Sum() == d.Sum() {
+		t.Fatal("string folding must not alias across boundaries")
+	}
+}
+
+func TestHashFloatBitExact(t *testing.T) {
+	x, y := 0.1, 0.2 // runtime addition, not exact constant folding
+	a, b := NewHash(), NewHash()
+	a.Float64(x + y)
+	b.Float64(0.3)
+	if a.Sum() == b.Sum() {
+		t.Fatal("0.1+0.2 and 0.3 differ in bits; hashes must differ")
+	}
+	c, d := NewHash(), NewHash()
+	c.Float64(1.5)
+	d.Float64(1.5)
+	if c.Sum() != d.Sum() {
+		t.Fatal("identical floats must hash identically")
+	}
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkConfigMutation enforces two structural invariants:
+//
+//  1. Config structs are frozen after construction. Every simulator
+//     component copies its Config at New() time; a method that later
+//     writes a Config field silently desynchronises the component from
+//     the settings the experiment recorded.
+//  2. Structs embedding a sync.Mutex must never be copied by value —
+//     the copy shares no lock state with the original, which is how
+//     the harness's result map would silently lose its race
+//     protection.
+func checkConfigMutation(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		if p.isTestFile(file.Pos()) {
+			continue
+		}
+		for _, fn := range enclosingFuncs(file) {
+			if fn.Body == nil {
+				continue
+			}
+			isMethod := fn.Recv != nil
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					// Constructors and validation methods may still fill
+					// defaults; everything after that is frozen.
+					if isMethod && !panicAllowedIn(fn.Name.Name) {
+						for _, lhs := range n.Lhs {
+							if tname, ok := writesConfigField(p, lhs); ok && !localConfigCopy(p, fn, lhs) {
+								out = append(out, Finding{
+									Pos:     p.Fset.Position(lhs.Pos()),
+									Rule:    "config-mutation",
+									Message: fmt.Sprintf("method %s writes %s field after construction; Config is frozen at New()", fn.Name.Name, tname),
+								})
+							}
+						}
+					}
+					for i, rhs := range n.Rhs {
+						if i < len(n.Lhs) {
+							if tname, ok := copiesLockedStruct(p, rhs); ok {
+								out = append(out, Finding{
+									Pos:     p.Fset.Position(rhs.Pos()),
+									Rule:    "config-mutation",
+									Message: fmt.Sprintf("copies %s by value; it embeds a sync mutex whose state the copy will not share", tname),
+								})
+							}
+						}
+					}
+				case *ast.RangeStmt:
+					if n.Value != nil {
+						if t := p.Info.TypeOf(n.X); t != nil {
+							if elem := elementType(t); elem != nil && lockName(elem) != "" {
+								out = append(out, Finding{
+									Pos:     p.Fset.Position(n.Value.Pos()),
+									Rule:    "config-mutation",
+									Message: fmt.Sprintf("range copies %s elements by value; they embed a sync mutex", lockName(elem)),
+								})
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// writesConfigField reports whether lhs assigns into (a field of) a
+// value whose named type ends in "Config" — either replacing the whole
+// struct (c.cfg = x) or one field (c.cfg.LineSize = x).
+func writesConfigField(p *Package, lhs ast.Expr) (string, bool) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// Field write: the base expression is Config-typed.
+	if name := configTypeName(p.Info.TypeOf(sel.X)); name != "" {
+		return name, true
+	}
+	// Whole-struct replacement: the selector itself is Config-typed and
+	// selects a struct field (not a local variable).
+	if name := configTypeName(p.Info.TypeOf(sel)); name != "" {
+		if _, isField := p.Info.Selections[sel]; isField {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// localConfigCopy reports whether the written selector chain roots at a
+// plain local variable other than the receiver: `cfg := s.cfg;
+// cfg.X = y` builds a fresh config for construction and is allowed,
+// while `s.cfg.X = y` mutates shared state and is not.
+func localConfigCopy(p *Package, fn *ast.FuncDecl, lhs ast.Expr) bool {
+	root := lhs
+	for {
+		sel, ok := root.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		root = sel.X
+	}
+	id, ok := root.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	// Package-level variables are shared state, not local copies.
+	if v.Parent() == p.Types.Scope() || v.Parent() == types.Universe {
+		return false
+	}
+	// The receiver is how methods reach shared state; writes through it
+	// are exactly what this rule exists to catch.
+	if fn.Recv != nil {
+		for _, field := range fn.Recv.List {
+			for _, name := range field.Names {
+				if p.Info.Defs[name] == obj {
+					return false
+				}
+			}
+		}
+	}
+	// A pointer-typed local still aliases the original struct.
+	if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return true
+}
+
+// configTypeName returns the type's name if it is a named struct type
+// ending in "Config" (after stripping pointers), else "".
+func configTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return ""
+	}
+	name := named.Obj().Name()
+	if strings.HasSuffix(name, "Config") {
+		return name
+	}
+	return ""
+}
+
+// copiesLockedStruct reports whether evaluating rhs produces a by-value
+// copy of a mutex-bearing struct: dereferences (*p), plain variable
+// reads, and field selections. Composite literals and function results
+// are fresh values, not copies, and are exempt.
+func copiesLockedStruct(p *Package, rhs ast.Expr) (string, bool) {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.StarExpr, *ast.SelectorExpr, *ast.IndexExpr:
+	default:
+		return "", false
+	}
+	t := p.Info.TypeOf(rhs)
+	if t == nil {
+		return "", false
+	}
+	if name := lockName(t); name != "" {
+		return name, true
+	}
+	return "", false
+}
+
+// lockName returns the named type's name when t (a value, not a
+// pointer) is or contains a sync.Mutex/RWMutex, else "".
+func lockName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex" || obj.Name() == "WaitGroup") {
+			return "sync." + obj.Name()
+		}
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if lockName(st.Field(i).Type()) != "" {
+			if named != nil {
+				return named.Obj().Name()
+			}
+			return "struct{...}"
+		}
+	}
+	return ""
+}
+
+// elementType returns what a range yields as its second variable.
+func elementType(t types.Type) types.Type {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Map:
+		return u.Elem()
+	}
+	return nil
+}

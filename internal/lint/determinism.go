@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are package-level math/rand functions that merely
+// build deterministic generators from an explicit seed; everything else
+// at package level draws from the shared, unseeded global source.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// checkDeterminism flags wall-clock reads, global math/rand draws, and
+// map iteration inside cycle-level packages. All three make a run's
+// result depend on something other than (config, seed, trace).
+func checkDeterminism(p *Package) []Finding {
+	if !cyclePackages[p.PkgPath] {
+		return nil
+	}
+	var out []Finding
+	report := func(n ast.Node, format string, args ...interface{}) {
+		out = append(out, Finding{
+			Pos:     p.Fset.Position(n.Pos()),
+			Rule:    "determinism",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, file := range p.Files {
+		if p.isTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pkgName, ok := importedPackage(p, n.X)
+				if !ok {
+					return true
+				}
+				switch pkgName.Imported().Path() {
+				case "time":
+					if n.Sel.Name == "Now" || n.Sel.Name == "Since" || n.Sel.Name == "Until" {
+						report(n, "time.%s leaks wall-clock time into cycle-level state", n.Sel.Name)
+					}
+				case "math/rand", "math/rand/v2":
+					if !randConstructors[n.Sel.Name] {
+						report(n, "global rand.%s draws from the shared source; use an explicitly seeded *rand.Rand", n.Sel.Name)
+					}
+				}
+			case *ast.RangeStmt:
+				t := p.Info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					report(n, "range over map %s iterates in randomised order; sort the keys first", types.TypeString(t, types.RelativeTo(p.Types)))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// importedPackage resolves an expression to the package it names, if it
+// is a bare package qualifier (e.g. the "time" in time.Now).
+func importedPackage(p *Package, x ast.Expr) (*types.PkgName, bool) {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return pn, ok
+}

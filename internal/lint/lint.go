@@ -1,0 +1,223 @@
+// Package lint is LATTE-CC's simulator-aware static-analysis pass. It
+// layers four project-specific rules on top of go vet's generic checks,
+// each encoding an invariant the cycle-level model depends on but the
+// compiler cannot enforce:
+//
+//   - determinism: cycle-level packages must not read wall-clock time,
+//     draw from the shared math/rand source, or iterate Go maps (whose
+//     order is deliberately randomised) — any of these makes two runs of
+//     the same seed diverge.
+//   - panic-audit: panics are reserved for configuration/geometry
+//     validation during construction; hot simulation paths and harness
+//     I/O must return errors instead.
+//   - config-mutation: Config structs are immutable after construction;
+//     methods must not write their fields. Structs embedding sync.Mutex
+//     must not be copied by value.
+//   - stats-integrity: floating-point metric accumulation (+= on float
+//     fields) belongs in internal/stats (or internal/energy), not
+//     scattered through simulation code where summation order varies.
+//
+// Findings are suppressed line-by-line with a justification comment:
+//
+//	//lint:allow <rule> <reason>
+//
+// placed on the offending line or the line directly above it. The
+// cmd/lattelint binary drives this package over the module tree.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+}
+
+// Package is one type-checked package presented to the rules.
+type Package struct {
+	PkgPath string // import path, e.g. lattecc/internal/sim
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Info    *types.Info
+	Types   *types.Package
+}
+
+// Rule is one analyzer. Check reports violations; the driver handles
+// //lint:allow suppression and ordering.
+type Rule struct {
+	Name  string
+	Doc   string
+	Check func(p *Package) []Finding
+}
+
+// Rules returns every registered analyzer.
+func Rules() []Rule {
+	return []Rule{
+		{
+			Name:  "determinism",
+			Doc:   "no wall-clock, global rand, or map iteration in cycle-level packages",
+			Check: checkDeterminism,
+		},
+		{
+			Name:  "panic-audit",
+			Doc:   "panic() only in construction/validation paths",
+			Check: checkPanicAudit,
+		},
+		{
+			Name:  "config-mutation",
+			Doc:   "Config fields are read-only after construction; never copy mutex-bearing structs",
+			Check: checkConfigMutation,
+		},
+		{
+			Name:  "stats-integrity",
+			Doc:   "float metric accumulation belongs in internal/stats",
+			Check: checkStatsIntegrity,
+		},
+	}
+}
+
+// cyclePackages are the bit-deterministic core of the simulator: any
+// nondeterminism here changes simulation results, not just logs.
+var cyclePackages = map[string]bool{
+	"lattecc/internal/sim":      true,
+	"lattecc/internal/cache":    true,
+	"lattecc/internal/core":     true,
+	"lattecc/internal/mem":      true,
+	"lattecc/internal/compress": true,
+	"lattecc/internal/workload": true,
+}
+
+// harnessPackages additionally hold experiment orchestration and file
+// I/O; they may be slower but must still fail via errors, not panics.
+var harnessPackages = map[string]bool{
+	"lattecc/internal/harness": true,
+}
+
+// Run executes every rule over every package, drops findings covered by
+// //lint:allow comments, and returns the rest in file/line order.
+func Run(pkgs []*Package) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		allow := collectAllows(p)
+		for _, r := range Rules() {
+			for _, f := range r.Check(p) {
+				if allow.covers(f) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// allowSet records, per file and line, which rules are suppressed.
+type allowSet map[string]map[int]map[string]bool
+
+// covers reports whether a //lint:allow comment for the finding's rule
+// sits on the finding's line or the line directly above it.
+func (a allowSet) covers(f Finding) bool {
+	lines := a[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[f.Pos.Line][f.Rule] || lines[f.Pos.Line-1][f.Rule]
+}
+
+// collectAllows scans comments for "//lint:allow <rule> <reason>"
+// directives. A missing reason still suppresses but is itself reported
+// by the driver as a style finding — justifications are mandatory.
+func collectAllows(p *Package) allowSet {
+	set := allowSet{}
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					set[pos.Filename] = byLine
+				}
+				rules := byLine[pos.Line]
+				if rules == nil {
+					rules = map[string]bool{}
+					byLine[pos.Line] = rules
+				}
+				rules[fields[0]] = true
+			}
+		}
+	}
+	return set
+}
+
+// MissingReasons reports //lint:allow directives that omit the
+// mandatory justification text after the rule name.
+func MissingReasons(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				if fields := strings.Fields(text); len(fields) < 2 {
+					out = append(out, Finding{
+						Pos:     p.Fset.Position(c.Pos()),
+						Rule:    "allow-reason",
+						Message: "//lint:allow requires a rule name and a justification",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isTestFile reports whether the file the node lives in is a _test.go
+// file; test-only code may use maps and clocks freely.
+func (p *Package) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// enclosingFuncs pairs each top-level function with its name so rules
+// can apply per-function policies (constructors vs hot paths).
+func enclosingFuncs(file *ast.File) []*ast.FuncDecl {
+	var fns []*ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			fns = append(fns, fd)
+		}
+	}
+	return fns
+}

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses and type-checks the packages selected by patterns
+// (relative to the module root: "./..." for everything, or "./internal/sim"
+// style paths) and returns them ready for Run.
+//
+// The loader is deliberately stdlib-only: module-internal imports
+// resolve to directories under the module root, standard-library imports
+// are type-checked from $GOROOT/src with function bodies skipped. This
+// avoids both go/packages (an external module) and importer.Default()
+// (which needs prebuilt export data modern toolchains no longer ship).
+func Load(root string, patterns []string) ([]*Package, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := selectDirs(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	imp := newModuleImporter(modPath, root)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		p, err := imp.loadForAnalysis(dir)
+		if err != nil {
+			if err == errNoGoFiles {
+				continue
+			}
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// modulePath reads the module directive from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s/go.mod: no module directive", root)
+}
+
+// selectDirs expands patterns into package directories under root.
+func selectDirs(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		base := root
+		recursive := false
+		if pat == "..." {
+			recursive = true
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			base = filepath.Join(root, rest)
+			recursive = true
+		} else if pat != "" && pat != "." {
+			base = filepath.Join(root, pat)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+var errNoGoFiles = fmt.Errorf("no buildable Go files")
+
+// moduleImporter resolves import paths to source directories and
+// type-checks them on demand, caching results. It implements
+// types.Importer for the dependency side of the analysis.
+type moduleImporter struct {
+	fset    *token.FileSet
+	modPath string
+	modRoot string
+	cache   map[string]*types.Package
+}
+
+func newModuleImporter(modPath, modRoot string) *moduleImporter {
+	return &moduleImporter{
+		fset:    token.NewFileSet(),
+		modPath: modPath,
+		modRoot: modRoot,
+		cache:   map[string]*types.Package{},
+	}
+}
+
+// dirFor maps an import path to its source directory.
+func (im *moduleImporter) dirFor(path string) (string, error) {
+	if path == im.modPath {
+		return im.modRoot, nil
+	}
+	if rest, ok := strings.CutPrefix(path, im.modPath+"/"); ok {
+		return filepath.Join(im.modRoot, rest), nil
+	}
+	dir := filepath.Join(build.Default.GOROOT, "src", path)
+	if _, err := os.Stat(dir); err != nil {
+		return "", fmt.Errorf("cannot resolve import %q: %w", path, err)
+	}
+	return dir, nil
+}
+
+// Import satisfies types.Importer. Dependencies are checked with
+// function bodies skipped: the analyses only need their exported shape.
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := im.cache[path]; ok {
+		return pkg, nil
+	}
+	dir, err := im.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	files, err := im.parseDir(dir, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	cfg := types.Config{
+		Importer:         im,
+		IgnoreFuncBodies: true,
+		// Dependencies only need to be complete enough to describe
+		// their exported API; swallow their internal errors.
+		Error: func(error) {},
+	}
+	pkg, _ := cfg.Check(path, im.fset, files, nil)
+	im.cache[path] = pkg
+	return pkg, nil
+}
+
+// loadForAnalysis fully type-checks one module directory, bodies
+// included, and wraps it as a lint.Package.
+func (im *moduleImporter) loadForAnalysis(dir string) (*Package, error) {
+	rel, err := filepath.Rel(im.modRoot, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgPath := im.modPath
+	if rel != "." {
+		pkgPath = im.modPath + "/" + filepath.ToSlash(rel)
+	}
+	files, err := im.parseDir(dir, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErr error
+	cfg := types.Config{
+		Importer: im,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	// Note: the result is deliberately NOT stored in im.cache. Cached
+	// entries form one shared type universe for cross-package imports;
+	// replacing one mid-run would split type identity (two distinct
+	// compress.Codec objects) and break later checks. Each analysis
+	// package is its own root over that stable dependency cache.
+	tpkg, _ := cfg.Check(pkgPath, im.fset, files, info)
+	if typeErr != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, typeErr)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Fset:    im.fset,
+		Files:   files,
+		Info:    info,
+		Types:   tpkg,
+	}, nil
+}
+
+// parseDir parses the build-tag-selected non-test Go files of dir.
+func (im *moduleImporter) parseDir(dir string, mode parser.Mode) ([]*ast.File, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, noGo := err.(*build.NoGoError); noGo {
+			return nil, errNoGoFiles
+		}
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, errNoGoFiles
+	}
+	return files, nil
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkStatsIntegrity flags `x.field += <float>` accumulation in
+// cycle-level and harness packages. Floating-point summation is not
+// associative: ad-hoc accumulators scattered through simulation code
+// make the reported metric depend on evaluation order, which is exactly
+// what internal/stats (Welford-style Running, EWMA) and
+// internal/energy's breakdown types exist to centralise.
+func checkStatsIntegrity(p *Package) []Finding {
+	if !cyclePackages[p.PkgPath] && !harnessPackages[p.PkgPath] {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		if p.isTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ADD_ASSIGN || len(as.Lhs) != 1 {
+				return true
+			}
+			sel, ok := as.Lhs[0].(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(sel)
+			if t == nil {
+				return true
+			}
+			if basic, ok := t.Underlying().(*types.Basic); ok && basic.Info()&types.IsFloat != 0 {
+				out = append(out, Finding{
+					Pos:     p.Fset.Position(as.Pos()),
+					Rule:    "stats-integrity",
+					Message: fmt.Sprintf("float accumulation into %s.%s outside internal/stats; use stats.Running/EWMA or an accumulator type owned by the metric's package", exprString(sel.X), sel.Sel.Name),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// exprString renders a short form of simple receiver expressions for
+// messages; anything complex collapses to "…".
+func exprString(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	default:
+		return "…"
+	}
+}

@@ -1,0 +1,62 @@
+// Config-mutation fixture: methods writing Config fields after
+// construction, and by-value copies of mutex-bearing structs.
+package fixture
+
+import "sync"
+
+type CacheConfig struct {
+	Ways     int
+	LineSize int
+}
+
+type component struct {
+	cfg CacheConfig
+	mu  sync.Mutex
+	ids []int
+}
+
+func (c *component) resize(ways int) {
+	c.cfg.Ways = ways // want config-mutation: field write after construction
+}
+
+func (c *component) replace(cfg CacheConfig) {
+	c.cfg = cfg // want config-mutation: whole-struct replacement
+}
+
+func (c *component) derived() CacheConfig {
+	cfg := c.cfg
+	cfg.Ways *= 2 // ok: local copy feeding a new construction
+	return cfg
+}
+
+func (c *component) Validate() {
+	if c.cfg.Ways == 0 {
+		c.cfg.Ways = 4 // ok: validation fills defaults
+	}
+}
+
+func (c *component) annotated() {
+	//lint:allow config-mutation fixture exercises suppression
+	c.cfg.LineSize = 64
+}
+
+func copyByValue(c *component) {
+	d := *c // want config-mutation: copies the mutex
+	d.ids = nil
+}
+
+func rangeCopies(cs []component) int {
+	n := 0
+	for _, c := range cs { // want config-mutation: range copies the mutex
+		n += len(c.ids)
+	}
+	return n
+}
+
+func pointersAreFine(cs []*component) int {
+	n := 0
+	for _, c := range cs { // ok: pointer elements share the lock
+		n += len(c.ids)
+	}
+	return n
+}

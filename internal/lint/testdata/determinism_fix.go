@@ -1,0 +1,50 @@
+// Package fixture seeds determinism violations for lint_test.go. It is
+// never compiled into the module (testdata is invisible to the go tool);
+// the tests parse and type-check it standalone under a cycle-level
+// package path.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type table struct {
+	counts map[uint32]uint16
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want determinism: wall clock
+}
+
+func globalRand() int {
+	return rand.Intn(16) // want determinism: global source
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(42)) // ok: explicit deterministic seed
+	return r.Intn(16)
+}
+
+func mapIteration(t table) uint64 {
+	var sum uint64
+	for _, c := range t.counts { // want determinism: map order
+		sum += uint64(c)
+	}
+	return sum
+}
+
+func sortedIteration(t table) []uint32 {
+	keys := make([]uint32, 0, len(t.counts))
+	//lint:allow determinism keys are sorted before any use
+	for k := range t.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func suppressedClock() time.Time {
+	return time.Now() //lint:allow determinism fixture exercises same-line suppression
+}

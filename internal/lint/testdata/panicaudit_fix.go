@@ -1,0 +1,54 @@
+// Panic-audit fixture: panics outside construction/validation paths
+// must be flagged; New*/Must*/validate/check functions are exempt.
+package fixture
+
+import "fmt"
+
+type engine struct{ n int }
+
+func NewEngine(n int) *engine {
+	if n <= 0 {
+		panic("bad geometry") // ok: constructor
+	}
+	return &engine{n: n}
+}
+
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty") // ok: Must* contract
+	}
+	return len(s)
+}
+
+func validateShape(n int) {
+	if n%2 != 0 {
+		panic("odd") // ok: validation helper
+	}
+}
+
+func checkBounds(i, n int) {
+	if i >= n {
+		panic(fmt.Sprintf("index %d out of %d", i, n)) // ok: check helper
+	}
+}
+
+func (e *engine) tick() int {
+	if e.n == 0 {
+		panic("hot path") // want panic-audit
+	}
+	return e.n
+}
+
+func loadFile(name string) []byte {
+	if name == "" {
+		panic("no file") // want panic-audit: I/O must return errors
+	}
+	return nil
+}
+
+func deadlockGuard(cycles int) {
+	if cycles > 1<<40 {
+		//lint:allow panic-audit wedged simulation has no error path
+		panic("cycle guard")
+	}
+}

@@ -1,0 +1,30 @@
+// Stats-integrity fixture: float += on struct fields is ad-hoc metric
+// accumulation; integers and locals are fine.
+package fixture
+
+type metrics struct {
+	ipc    float64
+	misses uint64
+}
+
+func (m *metrics) observe(sample float64) {
+	m.ipc += sample // want stats-integrity
+	m.misses++      // ok: integer counters are exact
+}
+
+func localSum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x // ok: local accumulator, not a stored metric
+	}
+	return sum
+}
+
+func (m *metrics) integerDelta(d uint64) {
+	m.misses += d // ok: integer
+}
+
+func (m *metrics) blessed(sample float64) {
+	//lint:allow stats-integrity fixture exercises suppression
+	m.ipc += sample
+}

@@ -89,8 +89,13 @@ type sm struct {
 	slots  []blockSlot
 	scheds []schedState
 
-	lsu   []*memReq         // FIFO of draining memory instructions
-	mshr  map[uint64]uint64 // lineAddr -> fill completion cycle
+	// mshr maps lineAddr -> fill completion cycle. Determinism audit:
+	// the map is only ever used for keyed lookup, insert, delete, and
+	// len() — never iterated — so Go's randomized map order cannot leak
+	// into timing. Fill completions drain through the fills heap, which
+	// orders strictly by cycle.
+	lsu   []*memReq
+	mshr  map[uint64]uint64
 	fills fillHeap
 
 	hitSample uint64 // hit counter for VFT sampling

@@ -183,6 +183,7 @@ func (s *Spec) Data() trace.DataSource { return NewData(s.Regions) }
 // Kernels implements trace.Workload.
 func (s *Spec) Kernels() []trace.Kernel {
 	if len(s.KernelSeq) == 0 {
+		//lint:allow panic-audit geometry validation: an empty kernel sequence is a misconfigured workload spec
 		panic(fmt.Sprintf("workload %s: no kernels", s.WName))
 	}
 	kernels := make([]trace.Kernel, 0, len(s.KernelSeq))

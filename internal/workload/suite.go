@@ -37,19 +37,31 @@ var builders = map[string]func() *Spec{
 	"MIS": MIS,
 }
 
+// builderNames returns the registry's keys in sorted order. Every
+// enumeration of the builders map goes through this helper so map
+// iteration order can never reach a caller (workload order decides
+// block-dispatch interleaving, so it must be identical across runs).
+func builderNames() []string {
+	names := make([]string, 0, len(builders))
+	//lint:allow determinism keys are sorted before use
+	for name := range builders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Names returns every workload abbreviation, sorted, C-Sens last — the
 // order the paper's figures use (insensitive group then sensitive group).
 func Names() []string {
 	var ins, sens []string
-	for name, b := range builders {
-		if b().Category() == trace.CSens {
+	for _, name := range builderNames() {
+		if builders[name]().Category() == trace.CSens {
 			sens = append(sens, name)
 		} else {
 			ins = append(ins, name)
 		}
 	}
-	sort.Strings(ins)
-	sort.Strings(sens)
 	return append(ins, sens...)
 }
 
