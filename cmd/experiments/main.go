@@ -3,18 +3,27 @@
 // the experiment index and EXPERIMENTS.md for recorded paper-vs-measured
 // comparisons.
 //
+// Runs are enumerated up front and drained through the harness's
+// parallel pool (-jobs workers, single-flight deduplicated), then
+// rendered serially from the cache — output is byte-identical for any
+// -jobs value.
+//
 // Usage:
 //
 //	experiments -list
 //	experiments -exp fig11            # one experiment
 //	experiments -all                  # everything, paper order
+//	experiments -all -jobs 8 -v       # parallel, with progress/ETA
 //	experiments -exp fig11 -quick     # smaller machine for a fast pass
+//	experiments -all -tiny -golden testdata/golden_tiny.txt           # CI gate
+//	experiments -all -tiny -golden testdata/golden_tiny.txt -update   # regenerate
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"lattecc/internal/harness"
@@ -27,8 +36,12 @@ func main() {
 		exp     = flag.String("exp", "", "experiment id to run (see -list)")
 		all     = flag.Bool("all", false, "run every experiment")
 		quick   = flag.Bool("quick", false, "use a smaller GPU (2 SMs) for a fast smoke pass")
-		verbose = flag.Bool("v", false, "print each simulation run")
+		tiny    = flag.Bool("tiny", false, "use the CI golden-gate machine (2 SMs, 120k-instruction cap)")
+		jobs    = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		verbose = flag.Bool("v", false, "print per-run progress with ETA (stderr)")
 		csv     = flag.Bool("csv", false, "emit machine-readable CSV instead of aligned tables")
+		golden  = flag.String("golden", "", "compare the rendered text output against this golden file")
+		update  = flag.Bool("update", false, "with -golden: rewrite the golden file instead of comparing")
 	)
 	flag.Parse()
 
@@ -38,20 +51,62 @@ func main() {
 		}
 		return
 	}
+	if *golden != "" && *csv {
+		fmt.Fprintln(os.Stderr, "experiments: -golden compares text output; drop -csv")
+		os.Exit(2)
+	}
 
 	cfg := sim.DefaultConfig()
-	if *quick {
+	if *quick || *tiny {
 		cfg.NumSMs = 2
 	}
+	if *tiny {
+		// The golden gate wants seconds-per-run, not fidelity: cap every
+		// simulation hard. Numbers at this scale are meaningless; the
+		// point is bit-exact reproducibility across runs and machines.
+		cfg.MaxInstructions = 120_000
+	}
 	suite := harness.NewSuite(cfg)
-	suite.Verbose = *verbose
+	suite.Jobs = *jobs
+	if *verbose {
+		suite.Reporter = harness.NewProgressReporter(os.Stderr)
+	}
 
-	run := func(e harness.Experiment) {
+	var selected []harness.Experiment
+	switch {
+	case *all:
+		selected = harness.Experiments()
+	case *exp != "":
+		e, ok := harness.ExperimentByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		selected = []harness.Experiment{e}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Pre-submit the union of every selected experiment's run set and
+	// drain it through the pool; rendering below then hits the cache.
+	for _, e := range selected {
+		if e.Runs != nil {
+			suite.Prefetch(e.Runs()...)
+		}
+	}
+	if err := suite.RunAll(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+
+	var goldenBuf strings.Builder
+	for _, e := range selected {
 		start := time.Now()
 		if *csv {
 			if e.Table == nil {
 				fmt.Fprintf(os.Stderr, "%s has no tabular form; skipping in CSV mode\n", e.ID)
-				return
+				continue
 			}
 			tab, err := e.Table(suite)
 			if err != nil {
@@ -59,32 +114,63 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("# %s: %s\n%s\n", e.ID, e.Title, tab.CSV())
-			return
+			continue
 		}
-		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
 		out, err := e.Run(suite)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Println(out)
+		section := fmt.Sprintf("== %s: %s ==\n%s\n", e.ID, e.Title, out)
+		if *golden != "" {
+			goldenBuf.WriteString(section)
+			continue
+		}
+		fmt.Print(section)
 		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 
-	switch {
-	case *all:
-		for _, e := range harness.Experiments() {
-			run(e)
+	if *golden != "" {
+		if err := checkGolden(*golden, goldenBuf.String(), *update); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
 		}
-	case *exp != "":
-		e, ok := harness.ExperimentByID(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
-			os.Exit(2)
-		}
-		run(e)
-	default:
-		flag.Usage()
-		os.Exit(2)
 	}
+}
+
+// checkGolden compares got against the golden file (or rewrites it when
+// update is set). Mismatches report the first differing line so CI logs
+// show where determinism drifted.
+func checkGolden(path, got string, update bool) error {
+	if update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("golden: wrote %s (%d bytes)\n", path, len(got))
+		return nil
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading golden file: %w (regenerate with -update)", err)
+	}
+	if string(want) == got {
+		fmt.Printf("golden: OK, output matches %s (%d bytes)\n", path, len(got))
+		return nil
+	}
+	wantLines := strings.Split(string(want), "\n")
+	gotLines := strings.Split(got, "\n")
+	for i := 0; i < len(wantLines) || i < len(gotLines); i++ {
+		var w, g string
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if w != g {
+			return fmt.Errorf("output diverges from %s at line %d:\n  golden: %q\n  got:    %q\n(intentional change? regenerate with -update)",
+				path, i+1, w, g)
+		}
+	}
+	return fmt.Errorf("output diverges from %s (length %d vs %d)", path, len(want), len(got))
 }

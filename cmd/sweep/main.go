@@ -5,8 +5,13 @@
 // Usage:
 //
 //	sweep -param l1kb -values 8,16,32,48 -workloads SS,FW -policy LATTE-CC
-//	sweep -param decomp-ii -values 1,2,4,8,14 -workloads SS
+//	sweep -param decomp-ii -values 1,2,4,8,14 -workloads SS -jobs 8
 //	sweep -list-params
+//
+// Every (value, workload) run is enumerated up front and drained
+// through one shared worker pool across the per-value suites, then the
+// CSV rows print serially from the caches — row order and contents are
+// independent of -jobs.
 package main
 
 import (
@@ -51,6 +56,7 @@ func main() {
 		values     = flag.String("values", "", "comma-separated integer values")
 		workloads  = flag.String("workloads", "SS,FW", "comma-separated benchmark names")
 		policyName = flag.String("policy", "LATTE-CC", "policy to measure (speedup vs Uncompressed)")
+		jobs       = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -84,15 +90,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep: no values given")
 		os.Exit(2)
 	}
-	names := strings.Split(*workloads, ",")
+	var names []string
+	for _, n := range strings.Split(*workloads, ",") {
+		names = append(names, strings.TrimSpace(n))
+	}
 
-	fmt.Printf("param,value,workload,policy,cycles,ipc,hitrate,speedup\n")
-	for _, v := range vals {
+	// One suite per sweep point; prefetch every (value, workload) pair,
+	// then drain them all through a single shared pool.
+	suites := make([]*harness.Suite, len(vals))
+	for i, v := range vals {
 		cfg := sim.DefaultConfig()
 		p.apply(&cfg, v)
-		suite := harness.NewSuite(cfg)
+		suites[i] = harness.NewSuite(cfg)
+		suites[i].Prefetch(append(
+			reqsFor(names, harness.Uncompressed),
+			reqsFor(names, harness.Policy(*policyName))...)...)
+	}
+	if err := harness.RunAllSuites(*jobs, suites...); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("param,value,workload,policy,cycles,ipc,hitrate,speedup\n")
+	for i, v := range vals {
+		suite := suites[i]
 		for _, name := range names {
-			name = strings.TrimSpace(name)
 			base, err := suite.Run(name, harness.Uncompressed, harness.Variant{})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -109,4 +131,13 @@ func main() {
 				float64(base.Cycles)/float64(res.Cycles))
 		}
 	}
+}
+
+// reqsFor enumerates names under one policy with the plain variant.
+func reqsFor(names []string, p harness.Policy) []harness.RunRequest {
+	reqs := make([]harness.RunRequest, len(names))
+	for i, n := range names {
+		reqs[i] = harness.RunRequest{Workload: n, Policy: p}
+	}
+	return reqs
 }

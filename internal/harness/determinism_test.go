@@ -18,7 +18,7 @@ func TestDeterministicReplay(t *testing.T) {
 	defer invariant.SetActive(prev)
 
 	cfg := quickConfig()
-	cfg.MaxInstructions = 300_000 // keep both passes fast
+	cfg.MaxInstructions = raceScaled(300_000) // keep both passes fast
 
 	workloads := []string{"BO", "SS", "FW"}
 	policies := []Policy{Uncompressed, LatteCC, StaticBDI}
@@ -53,7 +53,7 @@ func TestDeterministicReplay(t *testing.T) {
 // concurrent results agree with a serial replay.
 func TestConcurrentSuiteAccess(t *testing.T) {
 	cfg := quickConfig()
-	cfg.MaxInstructions = 150_000
+	cfg.MaxInstructions = raceScaled(150_000)
 
 	jobs := []struct {
 		w string

@@ -25,6 +25,12 @@ type Experiment struct {
 	// Table returns the underlying data table for machine-readable output
 	// (CSV); nil for prose/series experiments (fig5, fig16, ablation).
 	Table func(s *Suite) (*stats.Table, error)
+	// Runs enumerates the simulations the experiment performs on the
+	// shared suite, so callers can Prefetch the union of several
+	// experiments and drain it through the parallel pool before
+	// rendering. Nil for offline experiments and for those that run
+	// entirely on privately configured child suites (sens48k).
+	Runs func() []RunRequest
 }
 
 // renderTable adapts a table builder into an Experiment.Run renderer.
@@ -43,27 +49,27 @@ func renderTable(f func(*Suite) (*stats.Table, error)) func(*Suite) (string, err
 // the full index.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"tab1", "Table I: compression algorithm comparison", Tab1, tab1Table},
-		{"fig1", "Figure 1: IPC sensitivity to added L1 hit latency", Fig1, fig1Table},
-		{"fig2", "Figure 2: compression ratio of inserted L1 lines", Fig2, fig2Table},
-		{"fig3", "Figure 3: capacity-only speedup upper bound", Fig3, fig3Table},
-		{"fig4", "Figure 4: degradation from decompression latency alone", Fig4, fig4Table},
-		{"fig5", "Figure 5: SS latency tolerance over time", Fig5, nil},
-		{"fig6", "Figure 6: potential performance and energy impact", Fig6, fig6Table},
-		{"tab2", "Table II: simulated baseline configuration", Tab2, tab2Table},
-		{"tab3", "Table III: benchmarks", Tab3, tab3Table},
-		{"fig11", "Figure 11: speedup vs baseline (all policies)", Fig11, fig11Table},
-		{"fig12", "Figure 12: L1 miss reduction", Fig12, fig12Table},
-		{"fig13", "Figure 13: normalized GPU energy", Fig13, fig13Table},
-		{"fig14", "Figure 14: LATTE-CC energy savings breakdown", Fig14, fig14Table},
-		{"fig15", "Figure 15: LATTE-CC vs Kernel-OPT agreement", Fig15, fig15Table},
-		{"fig16", "Figure 16: SS effective cache capacity over time", Fig16, nil},
-		{"fig17", "Figure 17: adaptive policy comparison", Fig17, fig17Table},
-		{"fig18", "Figure 18: LATTE-CC with BDI+BPC modes", Fig18, fig18Table},
-		{"sens48k", "Section V-E: 48KB L1 sensitivity", Sens48K, sens48KTable},
-		{"writepolicy", "Section IV-C3: write-avoid vs write-through L1", WritePolicy, writePolicyTable},
-		{"sensparams", "LATTE-CC parameter sensitivity (EP length, sampling sets, decompressor)", SensParams, sensParamsTable},
-		{"ablation", "Design-choice ablations (DESIGN.md section 4)", Ablation, nil},
+		{"tab1", "Table I: compression algorithm comparison", Tab1, tab1Table, nil},
+		{"fig1", "Figure 1: IPC sensitivity to added L1 hit latency", Fig1, fig1Table, fig1Runs},
+		{"fig2", "Figure 2: compression ratio of inserted L1 lines", Fig2, fig2Table, nil},
+		{"fig3", "Figure 3: capacity-only speedup upper bound", Fig3, fig3Table, fig3Runs},
+		{"fig4", "Figure 4: degradation from decompression latency alone", Fig4, fig4Table, fig4Runs},
+		{"fig5", "Figure 5: SS latency tolerance over time", Fig5, nil, fig5Runs},
+		{"fig6", "Figure 6: potential performance and energy impact", Fig6, fig6Table, fig6Runs},
+		{"tab2", "Table II: simulated baseline configuration", Tab2, tab2Table, nil},
+		{"tab3", "Table III: benchmarks", Tab3, tab3Table, nil},
+		{"fig11", "Figure 11: speedup vs baseline (all policies)", Fig11, fig11Table, fig11Runs},
+		{"fig12", "Figure 12: L1 miss reduction", Fig12, fig12Table, fig11Runs},
+		{"fig13", "Figure 13: normalized GPU energy", Fig13, fig13Table, fig13Runs},
+		{"fig14", "Figure 14: LATTE-CC energy savings breakdown", Fig14, fig14Table, fig14Runs},
+		{"fig15", "Figure 15: LATTE-CC vs Kernel-OPT agreement", Fig15, fig15Table, fig15Runs},
+		{"fig16", "Figure 16: SS effective cache capacity over time", Fig16, nil, fig16Runs},
+		{"fig17", "Figure 17: adaptive policy comparison", Fig17, fig17Table, fig17Runs},
+		{"fig18", "Figure 18: LATTE-CC with BDI+BPC modes", Fig18, fig18Table, fig18Runs},
+		{"sens48k", "Section V-E: 48KB L1 sensitivity", Sens48K, sens48KTable, nil},
+		{"writepolicy", "Section IV-C3: write-avoid vs write-through L1", WritePolicy, writePolicyTable, writePolicyRuns},
+		{"sensparams", "LATTE-CC parameter sensitivity (EP length, sampling sets, decompressor)", SensParams, sensParamsTable, sensParamsRuns},
+		{"ablation", "Design-choice ablations (DESIGN.md section 4)", Ablation, nil, ablationRuns},
 	}
 }
 
@@ -629,8 +635,11 @@ func Fig18(s *Suite) (string, error) { return renderTable(fig18Table)(s) }
 func sens48KTable(s *Suite) (*stats.Table, error) {
 	cfg := s.Config()
 	cfg.Cache.SizeBytes = 48 * 1024
-	big := NewSuite(cfg)
-	big.Verbose = s.Verbose
+	big := s.child(cfg)
+	big.Prefetch(cross(CSensNames(), []Policy{Uncompressed, StaticBDI, LatteCC}, Variant{})...)
+	if err := big.RunAll(); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("workload", "Static-BDI", "LATTE-CC")
 	var bs, ls []float64
 	for _, name := range CSensNames() {
@@ -652,6 +661,10 @@ func sens48KTable(s *Suite) (*stats.Table, error) {
 // Sens48K renders the table.
 func Sens48K(s *Suite) (string, error) { return renderTable(sens48KTable)(s) }
 
+// writePolicyWorkloads are the store-carrying benchmarks of the
+// Section IV-C3 write-policy study.
+var writePolicyWorkloads = []string{"FWT", "BP", "WC", "SR1", "SS", "KM"}
+
 // WritePolicy verifies the paper's Section IV-C3 claim that the L1 write
 // policy has negligible performance impact, by re-running store-carrying
 // workloads with a write-through L1 (write hits expand compressed lines
@@ -659,10 +672,13 @@ func Sens48K(s *Suite) (string, error) { return renderTable(sens48KTable)(s) }
 func writePolicyTable(s *Suite) (*stats.Table, error) {
 	cfg := s.Config()
 	cfg.WriteThroughL1 = true
-	wt := NewSuite(cfg)
-	wt.Verbose = s.Verbose
+	wt := s.child(cfg)
+	wt.Prefetch(writePolicyRuns()...)
+	if err := wt.RunAll(); err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("workload", "write-avoid", "write-through", "delta%%")
-	for _, name := range []string{"FWT", "BP", "WC", "SR1", "SS", "KM"} {
+	for _, name := range writePolicyWorkloads {
 		a, err := s.Speedup(name, LatteCC, Variant{})
 		if err != nil {
 			return nil, err
@@ -760,13 +776,16 @@ func sensParamsTable(s *Suite) (*stats.Table, error) {
 // SensParams renders the table.
 func SensParams(s *Suite) (string, error) { return renderTable(sensParamsTable)(s) }
 
+// ablationWorkloads pick a representative C-Sens pair (one SC-affine,
+// one BDI-affine) plus a latency-critical C-InSens victim.
+var ablationWorkloads = []string{"SS", "FW", "NW"}
+
 // Ablation quantifies the design choices DESIGN.md sections 4-5 call
-// out, on a representative C-Sens pair (one SC-affine, one BDI-affine)
-// plus a latency-critical C-InSens victim.
+// out, on the ablationWorkloads trio.
 func Ablation(s *Suite) (string, error) {
 	var b strings.Builder
 	b.WriteString("Ablations on SS (SC-affine), FW (BDI-affine), NW (latency-critical):\n\n")
-	names := []string{"SS", "FW", "NW"}
+	names := ablationWorkloads
 	t := stats.NewTable("ablation", "SS", "FW", "NW")
 
 	row := func(label string, run func(name string) (float64, error)) error {
@@ -786,15 +805,32 @@ func Ablation(s *Suite) (string, error) {
 		return suite.Speedup(name, LatteCC, Variant{})
 	}
 
+	// The three child machines (unbounded decompressor, round-robin
+	// scheduler, decompressed-line buffer) are independent of the main
+	// suite; pre-submit their run sets through one shared pool so the
+	// row-by-row rendering below is all cache hits.
+	cfg := s.Config()
+	cfg.Cache.UnboundedDecompressor = true
+	noQueue := s.child(cfg)
+	rrCfg := s.Config()
+	rrCfg.Scheduler = sim.SchedRR
+	rr := s.child(rrCfg)
+	bufCfg := s.Config()
+	bufCfg.Cache.DecompBufferEntries = 8
+	buf := s.child(bufCfg)
+	for _, c := range []*Suite{noQueue, rr, buf} {
+		c.Prefetch(ablationRuns()...)
+	}
+	if err := RunAllSuites(s.Jobs, noQueue, rr, buf); err != nil {
+		return "", err
+	}
+
 	// Default configuration.
 	if err := row("default", func(n string) (float64, error) { return speedupWith(s, n) }); err != nil {
 		return "", err
 	}
 
 	// 1. Unbounded decompressor (Equation 3 queue term removed).
-	cfg := s.Config()
-	cfg.Cache.UnboundedDecompressor = true
-	noQueue := NewSuite(cfg)
 	if err := row("no-decomp-queue", func(n string) (float64, error) { return speedupWith(noQueue, n) }); err != nil {
 		return "", err
 	}
@@ -827,18 +863,12 @@ func Ablation(s *Suite) (string, error) {
 	}
 
 	// 5. Round-robin scheduler (Section III-B2's simpler tolerance case).
-	rrCfg := s.Config()
-	rrCfg.Scheduler = sim.SchedRR
-	rr := NewSuite(rrCfg)
 	if err := row("rr-scheduler", func(n string) (float64, error) { return speedupWith(rr, n) }); err != nil {
 		return "", err
 	}
 
 	// 6. Decompressed-line buffer extension (beyond the paper): 8 entries
 	// of recently decompressed lines short-circuit repeat decompressions.
-	bufCfg := s.Config()
-	bufCfg.Cache.DecompBufferEntries = 8
-	buf := NewSuite(bufCfg)
 	if err := row("decomp-buffer-8", func(n string) (float64, error) { return speedupWith(buf, n) }); err != nil {
 		return "", err
 	}

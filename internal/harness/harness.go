@@ -9,6 +9,7 @@ package harness
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"lattecc/internal/compress"
 	"lattecc/internal/core"
@@ -63,24 +64,68 @@ type key struct {
 	variant  Variant
 }
 
+// entry is one single-flight cache slot: the first caller of a key
+// installs the entry and simulates; everyone else blocks on done.
+type entry struct {
+	done chan struct{} // closed once res/err are valid
+	res  sim.Result
+	err  error
+}
+
 // Suite runs and caches simulations for one GPU configuration.
+//
+// Locking contract: mu guards only the result map and the prefetch
+// queue — never a running simulation. Run installs a placeholder entry
+// under mu, releases mu, simulates, then closes the entry's done
+// channel; concurrent callers of the same (workload, policy, variant)
+// key block on done instead of re-simulating, so every key simulates
+// exactly once no matter how many experiments request it concurrently
+// (single-flight). Jobs and Reporter are configuration: set them before
+// the first Run/RunAll and leave them alone afterwards.
 type Suite struct {
 	cfg sim.Config
 
+	// Jobs bounds how many simulations RunAll executes concurrently;
+	// <= 0 means runtime.GOMAXPROCS(0).
+	Jobs int
+	// Reporter, when non-nil, receives one event per run drained by
+	// RunAll (progress/ETA reporting). Implementations must be safe for
+	// concurrent use; the suite never holds mu across a call.
+	Reporter Reporter
+
 	mu      sync.Mutex
-	results map[key]sim.Result
-	// Verbose, when set, prints one line per completed run.
-	Verbose bool
+	results map[key]*entry
+	queue   []RunRequest
+	queued  map[key]bool
+	sims    atomic.Uint64
 }
 
 // NewSuite returns a Suite over the given configuration (typically
 // sim.DefaultConfig(), the paper's Table II machine).
 func NewSuite(cfg sim.Config) *Suite {
-	return &Suite{cfg: cfg, results: make(map[key]sim.Result)}
+	return &Suite{
+		cfg:     cfg,
+		results: make(map[key]*entry),
+		queued:  make(map[key]bool),
+	}
+}
+
+// child returns a fresh suite over cfg inheriting the parent's Jobs and
+// Reporter, for experiments that re-run subsets on modified machines
+// (48KB L1, write-through, ablations).
+func (s *Suite) child(cfg sim.Config) *Suite {
+	c := NewSuite(cfg)
+	c.Jobs = s.Jobs
+	c.Reporter = s.Reporter
+	return c
 }
 
 // Config returns the suite's base configuration.
 func (s *Suite) Config() sim.Config { return s.cfg }
+
+// Simulations returns how many simulations actually executed on this
+// suite; cache hits and single-flight waiters do not count.
+func (s *Suite) Simulations() uint64 { return s.sims.Load() }
 
 // factory builds the controller factory and the cache codec override for
 // a policy. The returned highCap codec constructor replaces the HighCap
@@ -126,16 +171,34 @@ func factoryFor(p Policy, schedule []modes.Mode) (sim.ControllerFactory, func() 
 
 // Run simulates one (workload, policy, variant) combination, caching the
 // result. Kernel-OPT internally requires the three static runs of the
-// same variant; they are cached too.
+// same variant; they are cached too. Run is safe for concurrent use:
+// the first caller of a key simulates while later callers block until
+// that result is ready (errors are cached alongside results — the
+// failure modes here are deterministic, so retrying cannot help).
 func (s *Suite) Run(workloadName string, p Policy, v Variant) (sim.Result, error) {
 	k := key{workload: workloadName, policy: p, variant: v}
 	s.mu.Lock()
-	if res, ok := s.results[k]; ok {
+	if e, ok := s.results[k]; ok {
 		s.mu.Unlock()
-		return res, nil
+		<-e.done
+		return e.res, e.err
 	}
+	e := &entry{done: make(chan struct{})}
+	s.results[k] = e
 	s.mu.Unlock()
 
+	e.res, e.err = s.simulate(workloadName, p, v)
+	if e.err == nil {
+		s.sims.Add(1)
+	}
+	close(e.done)
+	return e.res, e.err
+}
+
+// simulate executes one uncached run. It holds no locks: Kernel-OPT
+// recurses into Run for its three static prerequisites, which either
+// join in-flight simulations or execute inline on this goroutine.
+func (s *Suite) simulate(workloadName string, p Policy, v Variant) (sim.Result, error) {
 	w, err := workload.ByName(workloadName)
 	if err != nil {
 		return sim.Result{}, err
@@ -167,14 +230,6 @@ func (s *Suite) Run(workloadName string, p Policy, v Variant) (sim.Result, error
 
 	res := sim.New(cfg, w, factory).Run()
 	res.Policy = string(p)
-
-	s.mu.Lock()
-	s.results[k] = res
-	s.mu.Unlock()
-	if s.Verbose {
-		fmt.Printf("  ran %-4s %-18s cycles=%9d ipc=%6.2f hit=%.3f\n",
-			workloadName, p, res.Cycles, res.IPC(), res.Cache.HitRate())
-	}
 	return res, nil
 }
 

@@ -18,6 +18,17 @@ func quickConfig() sim.Config {
 	return cfg
 }
 
+// raceScaled shrinks a test's instruction budget when the race detector
+// is compiled in. These tests check plumbing and determinism, not
+// simulation fidelity, so a quarter-size run keeps the package inside
+// the per-package test timeout on small machines.
+func raceScaled(n uint64) uint64 {
+	if raceEnabled {
+		return n / 4
+	}
+	return n
+}
+
 func TestSuiteCachesRuns(t *testing.T) {
 	s := NewSuite(quickConfig())
 	r1, err := s.Run("BO", Uncompressed, Variant{})
@@ -233,6 +244,9 @@ func TestCacheSensitivityCriterion(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-machine classification check")
 	}
+	if raceEnabled {
+		t.Skip("pure fidelity check, no concurrency; minutes of race overhead for nothing")
+	}
 	cfg := sim.DefaultConfig()
 	cfg4 := cfg
 	cfg4.Cache.SizeBytes *= 4
@@ -264,6 +278,9 @@ func TestHeadlineOrderingRegression(t *testing.T) {
 	// workloads so neither static can win on class affinity alone.
 	if testing.Short() {
 		t.Skip("full-machine regression check")
+	}
+	if raceEnabled {
+		t.Skip("pure fidelity check, no concurrency; minutes of race overhead for nothing")
 	}
 	s := NewSuite(sim.DefaultConfig())
 	subset := []string{"SS", "KM", "MM", "FW", "CLR"}
@@ -299,7 +316,7 @@ func TestSimBackedExperimentsSmoke(t *testing.T) {
 		t.Skip("multi-simulation smoke test")
 	}
 	cfg := quickConfig()
-	cfg.MaxInstructions = 400_000 // keep each run tiny
+	cfg.MaxInstructions = raceScaled(400_000) // keep each run tiny
 	s := NewSuite(cfg)
 	for _, id := range []string{"fig5", "fig16"} {
 		e, ok := ExperimentByID(id)
@@ -325,7 +342,7 @@ func TestEveryExperimentRendersOnTinyMachine(t *testing.T) {
 		t.Skip("runs every experiment (minutes)")
 	}
 	cfg := quickConfig()
-	cfg.MaxInstructions = 120_000
+	cfg.MaxInstructions = raceScaled(120_000)
 	s := NewSuite(cfg)
 	for _, e := range Experiments() {
 		e := e

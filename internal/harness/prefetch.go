@@ -1,0 +1,92 @@
+// Run-set enumerators: one function per simulation-backed experiment,
+// listing every (workload, policy, variant) the experiment will request
+// so cmd/experiments can pre-submit the union to the parallel pool
+// (Suite.Prefetch / RunAll) before the serial rendering pass. The
+// enumerations mirror the loops in experiments.go; keeping them next to
+// each other is what the harness tests cross-check.
+package harness
+
+// cross enumerates names x policies under one variant, in order.
+func cross(names []string, pols []Policy, v Variant) []RunRequest {
+	reqs := make([]RunRequest, 0, len(names)*len(pols))
+	for _, n := range names {
+		for _, p := range pols {
+			reqs = append(reqs, RunRequest{Workload: n, Policy: p, Variant: v})
+		}
+	}
+	return reqs
+}
+
+func fig1Runs() []RunRequest {
+	reqs := cross(fig1Workloads, []Policy{Uncompressed}, Variant{})
+	for _, lat := range fig1Latencies {
+		reqs = append(reqs, cross(fig1Workloads, []Policy{Uncompressed}, Variant{ExtraHitLatency: lat})...)
+	}
+	return reqs
+}
+
+func fig3Runs() []RunRequest {
+	reqs := cross(Workloads(), []Policy{Uncompressed}, Variant{})
+	reqs = append(reqs, cross(Workloads(), []Policy{StaticBDI, StaticSC}, Variant{CapacityOnly: true})...)
+	return reqs
+}
+
+func fig4Runs() []RunRequest {
+	reqs := cross(Workloads(), []Policy{Uncompressed}, Variant{})
+	reqs = append(reqs, cross(Workloads(), []Policy{StaticBDI, StaticSC}, Variant{LatencyOnly: true})...)
+	return reqs
+}
+
+func fig5Runs() []RunRequest {
+	return []RunRequest{{Workload: "SS", Policy: LatteCC, Variant: Variant{SampleSeries: true}}}
+}
+
+func fig6Runs() []RunRequest {
+	return cross(CSensNames(), []Policy{Uncompressed, StaticBDI, StaticSC, LatteCC}, Variant{})
+}
+
+// fig11Runs also serves Figure 12: both walk the same policy set with
+// the plain variant. The Kernel-OPT prerequisites (the three statics)
+// are members of the set already, so they parallelize as peer tasks.
+func fig11Runs() []RunRequest {
+	return cross(Workloads(), append([]Policy{Uncompressed}, fig11Policies...), Variant{})
+}
+
+func fig13Runs() []RunRequest {
+	return cross(Workloads(), []Policy{Uncompressed, StaticBDI, StaticSC, LatteCC}, Variant{})
+}
+
+func fig14Runs() []RunRequest {
+	return cross(CSensNames(), []Policy{Uncompressed, LatteCC}, Variant{})
+}
+
+func fig15Runs() []RunRequest {
+	return cross(CSensNames(), []Policy{Uncompressed, StaticBDI, StaticSC, LatteCC, KernelOpt}, Variant{})
+}
+
+func fig16Runs() []RunRequest {
+	return cross([]string{"SS"}, []Policy{StaticBDI, StaticSC, LatteCC}, Variant{SampleSeries: true})
+}
+
+func fig17Runs() []RunRequest {
+	return cross(CSensNames(), []Policy{Uncompressed, AdaptiveHits, AdaptiveCMP, LatteCC}, Variant{})
+}
+
+func fig18Runs() []RunRequest {
+	return cross(CSensNames(), []Policy{Uncompressed, LatteCC, LatteBDIBPC}, Variant{})
+}
+
+// writePolicyRuns covers the default-machine half of the write-policy
+// study; the write-through half runs on a child suite the experiment
+// prefetches internally.
+func writePolicyRuns() []RunRequest {
+	return cross(writePolicyWorkloads, []Policy{Uncompressed, LatteCC}, Variant{})
+}
+
+func sensParamsRuns() []RunRequest {
+	return []RunRequest{{Workload: "SS", Policy: Uncompressed, Variant: Variant{}}}
+}
+
+func ablationRuns() []RunRequest {
+	return cross(ablationWorkloads, []Policy{Uncompressed, LatteCC}, Variant{})
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in. Heavy
+// tests shrink their instruction budgets under -race (see raceScaled):
+// the detector multiplies simulation cost several-fold, and on a small
+// machine the unscaled suite blows the per-package test timeout.
+const raceEnabled = true
