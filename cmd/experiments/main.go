@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -37,13 +39,18 @@ func main() {
 		all     = flag.Bool("all", false, "run every experiment")
 		quick   = flag.Bool("quick", false, "use a smaller GPU (2 SMs) for a fast smoke pass")
 		tiny    = flag.Bool("tiny", false, "use the CI golden-gate machine (2 SMs, 120k-instruction cap)")
-		jobs    = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		jobs    = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (must be >= 1)")
 		verbose = flag.Bool("v", false, "print per-run progress with ETA (stderr)")
 		csv     = flag.Bool("csv", false, "emit machine-readable CSV instead of aligned tables")
+		hashes  = flag.Bool("hashes", false, "print per-run StateHash lines instead of tables (daemon parity checks)")
 		golden  = flag.String("golden", "", "compare the rendered text output against this golden file")
 		update  = flag.Bool("update", false, "with -golden: rewrite the golden file instead of comparing")
 	)
 	flag.Parse()
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -jobs must be >= 1, got %d\n", *jobs)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {
@@ -100,6 +107,11 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *hashes {
+		printHashes(suite, selected)
+		return
+	}
+
 	var goldenBuf strings.Builder
 	for _, e := range selected {
 		start := time.Now()
@@ -136,6 +148,53 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// printHashes emits one sorted "hash <workload> <policy> <variant>
+// 0x<state-hash>" line per distinct run in the selected experiments.
+// This is the machine-readable ground truth the latteccd smoke test
+// compares daemon results against.
+func printHashes(suite *harness.Suite, selected []harness.Experiment) {
+	seen := map[string]bool{}
+	var lines []string
+	for _, e := range selected {
+		if e.Runs == nil {
+			continue
+		}
+		for _, r := range e.Runs() {
+			res := suite.MustRun(r.Workload, r.Policy, r.Variant)
+			line := fmt.Sprintf("hash %s %s %s 0x%016x", r.Workload, r.Policy, variantTag(r.Variant), res.StateHash())
+			if !seen[line] {
+				seen[line] = true
+				lines = append(lines, line)
+			}
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// variantTag renders a Variant as a stable single token ("-" when zero).
+func variantTag(v harness.Variant) string {
+	var parts []string
+	if v.CapacityOnly {
+		parts = append(parts, "cap")
+	}
+	if v.LatencyOnly {
+		parts = append(parts, "lat")
+	}
+	if v.ExtraHitLatency != 0 {
+		parts = append(parts, fmt.Sprintf("xhl=%d", v.ExtraHitLatency))
+	}
+	if v.SampleSeries {
+		parts = append(parts, "series")
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, ",")
 }
 
 // checkGolden compares got against the golden file (or rewrites it when

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,9 +57,13 @@ func main() {
 		values     = flag.String("values", "", "comma-separated integer values")
 		workloads  = flag.String("workloads", "SS,FW", "comma-separated benchmark names")
 		policyName = flag.String("policy", "LATTE-CC", "policy to measure (speedup vs Uncompressed)")
-		jobs       = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (must be >= 1)")
 	)
 	flag.Parse()
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "sweep: -jobs must be >= 1, got %d\n", *jobs)
+		os.Exit(2)
+	}
 
 	if *listParams {
 		names := make([]string, 0, len(params))

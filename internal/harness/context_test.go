@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// reporterFunc adapts a function to the Reporter interface for tests.
+type reporterFunc func(RunEvent)
+
+func (f reporterFunc) RunDone(e RunEvent) { f(e) }
+
+// TestRunAllContextPreCancelled: a context that is already dead must
+// dispatch nothing, surface the cancellation, and hand the queued
+// requests back so a later drain still serves them.
+func TestRunAllContextPreCancelled(t *testing.T) {
+	cfg := quickConfig()
+	cfg.MaxInstructions = raceScaled(50_000)
+
+	s := NewSuite(cfg)
+	s.Jobs = 2
+	reqs := []RunRequest{
+		{Workload: "BO", Policy: Uncompressed},
+		{Workload: "SS", Policy: Uncompressed},
+		{Workload: "FW", Policy: Uncompressed},
+	}
+	s.Prefetch(reqs...)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.RunAllContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := s.Simulations(); got != 0 {
+		t.Fatalf("cancelled pool simulated %d runs, want 0", got)
+	}
+
+	// The requests were requeued, not lost: a healthy drain completes.
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Simulations(); got != uint64(len(reqs)) {
+		t.Fatalf("post-cancel drain simulated %d runs, want %d", got, len(reqs))
+	}
+}
+
+// TestRunAllContextCancelMidDrain cancels from the Reporter after the
+// first completed run. With one worker the pool must stop at exactly
+// one simulation instead of draining the whole prefetch set, and the
+// other requests must survive for a later drain.
+func TestRunAllContextCancelMidDrain(t *testing.T) {
+	cfg := quickConfig()
+	cfg.MaxInstructions = raceScaled(50_000)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	s := NewSuite(cfg)
+	s.Jobs = 1
+	s.Reporter = reporterFunc(func(RunEvent) { cancel() })
+	reqs := []RunRequest{
+		{Workload: "BO", Policy: Uncompressed},
+		{Workload: "SS", Policy: Uncompressed},
+		{Workload: "FW", Policy: Uncompressed},
+		{Workload: "NW", Policy: Uncompressed},
+	}
+	s.Prefetch(reqs...)
+
+	err := s.RunAllContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := s.Simulations(); got != 1 {
+		t.Fatalf("single worker past cancellation simulated %d runs, want 1", got)
+	}
+
+	s.Reporter = nil
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Simulations(); got != uint64(len(reqs)) {
+		t.Fatalf("post-cancel drain simulated %d runs, want %d", got, len(reqs))
+	}
+}
+
+// TestCacheHitCounter pins the Run-level hit/fresh split the serving
+// layer exposes: every Run call lands in exactly one of Simulations or
+// CacheHits.
+func TestCacheHitCounter(t *testing.T) {
+	cfg := quickConfig()
+	cfg.MaxInstructions = raceScaled(50_000)
+
+	s := NewSuite(cfg)
+	if _, err := s.Run("BO", Uncompressed, Variant{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("BO", Uncompressed, Variant{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("BO", Uncompressed, Variant{}); err != nil {
+		t.Fatal(err)
+	}
+	if sims, hits := s.Simulations(), s.CacheHits(); sims != 1 || hits != 2 {
+		t.Fatalf("sims=%d hits=%d, want 1 and 2", sims, hits)
+	}
+}

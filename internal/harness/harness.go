@@ -98,6 +98,7 @@ type Suite struct {
 	queue   []RunRequest
 	queued  map[key]bool
 	sims    atomic.Uint64
+	hits    atomic.Uint64
 }
 
 // NewSuite returns a Suite over the given configuration (typically
@@ -126,6 +127,22 @@ func (s *Suite) Config() sim.Config { return s.cfg }
 // Simulations returns how many simulations actually executed on this
 // suite; cache hits and single-flight waiters do not count.
 func (s *Suite) Simulations() uint64 { return s.sims.Load() }
+
+// CacheHits returns how many Run calls were served from the result
+// cache instead of executing a simulation — completed results and
+// single-flight joins of in-flight ones both count. Together with
+// Simulations it gives a serving layer its hit/fresh split: every Run
+// call lands in exactly one of the two counters.
+func (s *Suite) CacheHits() uint64 { return s.hits.Load() }
+
+// Policies lists every named policy the harness can run, in a stable
+// order — the admission-validation surface for servers and CLIs.
+func Policies() []Policy {
+	return []Policy{
+		Uncompressed, StaticBDI, StaticSC, StaticBPC,
+		LatteCC, LatteBDIBPC, AdaptiveHits, AdaptiveCMP, KernelOpt,
+	}
+}
 
 // factory builds the controller factory and the cache codec override for
 // a policy. The returned highCap codec constructor replaces the HighCap
@@ -180,6 +197,7 @@ func (s *Suite) Run(workloadName string, p Policy, v Variant) (sim.Result, error
 	s.mu.Lock()
 	if e, ok := s.results[k]; ok {
 		s.mu.Unlock()
+		s.hits.Add(1)
 		<-e.done
 		return e.res, e.err
 	}

@@ -169,6 +169,9 @@ func TestProgressReporterEvents(t *testing.T) {
 		if e.Result.Cycles == 0 {
 			t.Errorf("%s/%s: event carries empty result", e.Workload, e.Policy)
 		}
+		if e.Duration <= 0 {
+			t.Errorf("%s/%s: event carries no per-run duration", e.Workload, e.Policy)
+		}
 	}
 }
 

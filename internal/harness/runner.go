@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -37,6 +38,15 @@ func (s *Suite) Prefetch(reqs ...RunRequest) {
 	}
 }
 
+// requeue returns an undispatched request to the queue after a
+// cancelled RunAll. The request's queued-mark is still set from its
+// original Prefetch, so it must bypass the dedup check.
+func (s *Suite) requeue(r RunRequest) {
+	s.mu.Lock()
+	s.queue = append(s.queue, r)
+	s.mu.Unlock()
+}
+
 // RunAll drains every prefetched request through a bounded worker pool
 // of Jobs workers and returns the failures joined in submission order.
 // Results land in the suite's cache, so the serial rendering pass that
@@ -44,11 +54,29 @@ func (s *Suite) Prefetch(reqs ...RunRequest) {
 // serial execution regardless of completion order.
 func (s *Suite) RunAll() error { return RunAllSuites(s.Jobs, s) }
 
+// RunAllContext is RunAll under a context: a cancelled or expired ctx
+// stops the pool from dispatching further queued runs (see
+// RunAllSuitesContext for the exact semantics).
+func (s *Suite) RunAllContext(ctx context.Context) error {
+	return RunAllSuitesContext(ctx, s.Jobs, s)
+}
+
 // RunAllSuites drains the prefetched sets of several suites through one
 // shared pool of jobs workers (<= 0 means GOMAXPROCS), for tools that
 // sweep a parameter across per-configuration suites. Tasks execute in
 // any order; errors are joined deterministically in submission order.
 func RunAllSuites(jobs int, suites ...*Suite) error {
+	return RunAllSuitesContext(context.Background(), jobs, suites...)
+}
+
+// RunAllSuitesContext is RunAllSuites under a context. Cancellation is
+// dispatch-level: workers stop claiming queued runs once ctx is done,
+// but a simulation already in flight runs to completion (the cycle loop
+// is not interruptible — determinism would otherwise depend on when the
+// cancel landed). Undispatched requests are returned to their suites'
+// queues so a later RunAll, or an inline Run, can still serve them; the
+// returned error joins any per-run failures with ctx's error.
+func RunAllSuitesContext(ctx context.Context, jobs int, suites ...*Suite) error {
 	type task struct {
 		s   *Suite
 		req RunRequest
@@ -63,7 +91,7 @@ func RunAllSuites(jobs int, suites ...*Suite) error {
 		s.mu.Unlock()
 	}
 	if len(tasks) == 0 {
-		return nil
+		return ctx.Err()
 	}
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -84,11 +112,15 @@ func RunAllSuites(jobs int, suites ...*Suite) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= total {
 					return
 				}
 				t := tasks[i]
+				runStart := time.Now()
 				res, err := t.s.Run(t.req.Workload, t.req.Policy, t.req.Variant)
 				d := int(done.Add(1))
 				if err != nil {
@@ -104,12 +136,24 @@ func RunAllSuites(jobs int, suites ...*Suite) error {
 						Done:     d,
 						Total:    total,
 						Elapsed:  time.Since(start),
+						Duration: time.Since(runStart),
 					})
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// Tasks past the final claim counter were never dispatched;
+		// hand them back (the queued-marks are still set, so Prefetch
+		// keeps deduplicating against them).
+		if n := int(next.Load()); n < total {
+			for _, t := range tasks[n:] {
+				t.s.requeue(t.req)
+			}
+		}
+		errs = append(errs, fmt.Errorf("harness: run pool cancelled: %w", err))
+	}
 	return errors.Join(errs...)
 }
 
@@ -120,10 +164,12 @@ type RunEvent struct {
 	Variant  Variant
 	Result   sim.Result
 	// Done and Total report pool progress; Elapsed is the pool's
-	// wall-clock age when the run completed.
-	Done    int
-	Total   int
-	Elapsed time.Duration
+	// wall-clock age when the run completed, Duration this run's own
+	// wall-clock cost (the latency a serving layer should histogram).
+	Done     int
+	Total    int
+	Elapsed  time.Duration
+	Duration time.Duration
 }
 
 // Reporter receives completion events from RunAll. Implementations must

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/types"
+	"strconv"
 )
 
 // randConstructors are package-level math/rand functions that merely
@@ -15,9 +16,23 @@ var randConstructors = map[string]bool{
 	"NewZipf":   true,
 }
 
-// checkDeterminism flags wall-clock reads, global math/rand draws, and
-// map iteration inside cycle-level packages. All three make a run's
-// result depend on something other than (config, seed, trace).
+// boundaryImports are serving-layer packages that must never leak below
+// the determinism boundary. The daemon (internal/server) may read wall
+// clocks and talk HTTP; the cycle-level model may not even *see* that
+// layer — an import edge from a cycle package into the serving stack is
+// the first step toward request state influencing simulation results.
+var boundaryImports = map[string]string{
+	"lattecc/internal/server":  "the serving daemon sits above the determinism boundary",
+	"lattecc/internal/harness": "orchestration must depend on the model, never the reverse",
+	"net/http":                 "cycle-level code has no business speaking HTTP",
+}
+
+// checkDeterminism flags wall-clock reads, global math/rand draws, map
+// iteration, and serving-layer imports inside cycle-level packages. Any
+// of these makes a run's result depend on something other than
+// (config, seed, trace). The same constructs are deliberately legal in
+// the layers above the boundary (internal/server, internal/harness,
+// cmd/*): a daemon needs clocks and sockets; the model must not.
 func checkDeterminism(p *Package) []Finding {
 	if !cyclePackages[p.PkgPath] {
 		return nil
@@ -33,6 +48,15 @@ func checkDeterminism(p *Package) []Finding {
 	for _, file := range p.Files {
 		if p.isTestFile(file.Pos()) {
 			continue
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, banned := boundaryImports[path]; banned {
+				report(imp, "import of %s crosses the determinism boundary: %s", path, why)
+			}
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {

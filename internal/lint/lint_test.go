@@ -170,6 +170,75 @@ func TestRulesScopedToCyclePackages(t *testing.T) {
 	}
 }
 
+// loadFixtureParseOnly parses a fixture without type-checking, for
+// rules (the boundary-import check) that must fire syntactically. The
+// Info maps are present but empty, exactly like a package whose
+// imports failed to resolve.
+func loadFixtureParseOnly(t *testing.T, file, pkgPath string) *Package {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := newModuleImporter("lattecc", "unused")
+	f, err := parser.ParseFile(im.fset, filepath.Join("testdata", file), src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	return &Package{PkgPath: pkgPath, Fset: im.fset, Files: []*ast.File{f}, Info: info, Types: types.NewPackage(pkgPath, "fixture")}
+}
+
+// TestDeterminismBoundaryImports: a cycle-level package importing the
+// serving stack (internal/server, internal/harness, net/http) trips the
+// determinism rule — once per banned import, reported syntactically so
+// even a package that fails to type-check cannot smuggle the edge in.
+func TestDeterminismBoundaryImports(t *testing.T) {
+	p := loadFixtureParseOnly(t, "determinism_boundary_fix.go", "lattecc/internal/sim")
+	got := checkDeterminism(p)
+	want := []string{
+		"net/http",
+		"lattecc/internal/harness",
+		"lattecc/internal/server",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("want %d boundary findings, got %d:\n%s", len(want), len(got), renderAll(got))
+	}
+	for i, frag := range want {
+		if !strings.Contains(got[i].Message, frag) {
+			t.Errorf("finding %d: want message naming %q, got %q", i, frag, got[i].Message)
+		}
+		if !strings.Contains(got[i].Message, "determinism boundary") {
+			t.Errorf("finding %d: message %q does not name the boundary", i, got[i].Message)
+		}
+	}
+
+	// Same imports under cache (also cycle-level) still fire; under the
+	// server's own path they are of course legal.
+	if got := checkDeterminism(loadFixtureParseOnly(t, "determinism_boundary_fix.go", "lattecc/internal/cache")); len(got) != len(want) {
+		t.Errorf("cache package: want %d findings, got %d", len(want), len(got))
+	}
+	if got := checkDeterminism(loadFixtureParseOnly(t, "determinism_boundary_fix.go", "lattecc/internal/server")); len(got) != 0 {
+		t.Errorf("server package must be above the boundary, got:\n%s", renderAll(got))
+	}
+}
+
+// TestDeterminismLegalInServer pins the other half of the boundary
+// contract: wall-clock reads, global rand, and map iteration — all
+// banned below the boundary — produce zero findings under the
+// daemon's package path.
+func TestDeterminismLegalInServer(t *testing.T) {
+	p := loadFixture(t, "determinism_fix.go", "lattecc/internal/server", "")
+	if got := ruleFindings(p, "determinism"); len(got) != 0 {
+		t.Fatalf("wall-clock/rand/maps are legal in internal/server, got:\n%s", renderAll(got))
+	}
+}
+
 func TestMissingReasonReported(t *testing.T) {
 	src := `package fixture
 func f() int {

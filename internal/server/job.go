@@ -1,0 +1,362 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lattecc/internal/harness"
+	"lattecc/internal/invariant"
+	"lattecc/internal/sim"
+)
+
+// jobState is a job's lifecycle position. Transitions are linear:
+// queued → running → done|failed.
+type jobState string
+
+const (
+	stateQueued  jobState = "queued"
+	stateRunning jobState = "running"
+	stateDone    jobState = "done"
+	stateFailed  jobState = "failed"
+)
+
+// runKey identifies one (suite, workload, policy, variant) run for the
+// reporter fan-out: suite-level completion events are routed to the
+// jobs subscribed to exactly that run.
+type runKey struct {
+	fp       uint64
+	workload string
+	policy   harness.Policy
+	variant  harness.Variant
+}
+
+// freshInfo is what the suite reporter learned about a run dispatched
+// while this job was subscribed: it executed fresh (not from cache) and
+// took this long.
+type freshInfo struct {
+	duration time.Duration
+}
+
+// Job is one admitted simulation batch. The daemon owns the job for its
+// whole lifetime; HTTP handlers only ever read snapshots under mu.
+type Job struct {
+	id       string
+	reqs     []harness.RunRequest
+	suite    *harness.Suite
+	fp       uint64
+	deadline time.Duration
+
+	mu      sync.Mutex
+	state   jobState
+	errMsg  string
+	results []RunResult
+	events  []Event
+	fresh   map[runKey]freshInfo
+	emitted map[runKey]bool
+	notify  chan struct{} // closed and replaced on every append
+}
+
+func newJob(id string, reqs []harness.RunRequest, suite *harness.Suite, fp uint64, deadline time.Duration) *Job {
+	j := &Job{
+		id:       id,
+		reqs:     reqs,
+		suite:    suite,
+		fp:       fp,
+		deadline: deadline,
+		state:    stateQueued,
+		fresh:    map[runKey]freshInfo{},
+		emitted:  map[runKey]bool{},
+		notify:   make(chan struct{}),
+	}
+	j.appendEvent(Event{Type: "queued", Data: map[string]any{"id": id, "runs": len(reqs)}})
+	return j
+}
+
+// Event is one frame of a job's SSE stream.
+type Event struct {
+	Type string // queued | running | run | done | failed
+	Data any    // JSON-marshalled into the frame's data line
+}
+
+// appendEvent records an event and wakes every stream blocked on the
+// job. Callers must NOT hold j.mu.
+func (j *Job) appendEvent(ev Event) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// snapshot returns the append-only event log (safe to read up to its
+// length), the current state, and a channel closed on the next change.
+func (j *Job) snapshot() ([]Event, jobState, chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.events, j.state, j.notify
+}
+
+// setRunning marks the job dispatched to a worker.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = stateRunning
+	j.mu.Unlock()
+	j.appendEvent(Event{Type: "running", Data: map[string]any{"id": j.id}})
+}
+
+// complete finishes the job with its results.
+func (j *Job) complete(results []RunResult) {
+	j.mu.Lock()
+	j.state = stateDone
+	j.results = results
+	j.mu.Unlock()
+	j.appendEvent(Event{Type: "done", Data: map[string]any{"id": j.id, "runs": len(results)}})
+}
+
+// fail finishes the job with an error.
+func (j *Job) fail(msg string) {
+	j.mu.Lock()
+	j.state = stateFailed
+	j.errMsg = msg
+	j.mu.Unlock()
+	j.appendEvent(Event{Type: "failed", Data: map[string]any{"id": j.id, "error": msg}})
+}
+
+// noteFresh records a reporter event for one of this job's runs and
+// emits the per-run SSE frame immediately — this is the live progress
+// path while the pool is still draining the batch.
+func (j *Job) noteFresh(k runKey, res RunResult) {
+	j.mu.Lock()
+	if j.emitted[k] {
+		j.mu.Unlock()
+		return
+	}
+	j.emitted[k] = true
+	j.fresh[k] = freshInfo{duration: time.Duration(res.DurationMS * float64(time.Millisecond))}
+	j.mu.Unlock()
+	j.appendEvent(Event{Type: "run", Data: res})
+}
+
+// freshRun returns what the reporter recorded for k, if anything.
+func (j *Job) freshRun(k runKey) (freshInfo, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	fi, ok := j.fresh[k]
+	return fi, ok
+}
+
+// emitRunOnce emits the per-run frame for cache-served runs that never
+// produced a reporter event.
+func (j *Job) emitRunOnce(k runKey, res RunResult) {
+	j.mu.Lock()
+	if j.emitted[k] {
+		j.mu.Unlock()
+		return
+	}
+	j.emitted[k] = true
+	j.mu.Unlock()
+	j.appendEvent(Event{Type: "run", Data: res})
+}
+
+// status renders the job for GET /v1/runs/{id}.
+func (j *Job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:      j.id,
+		Status:  string(j.state),
+		Error:   j.errMsg,
+		Runs:    len(j.reqs),
+		Results: j.results,
+	}
+}
+
+// --- wire types -------------------------------------------------------
+
+// RunSpec names one simulation in a submission.
+type RunSpec struct {
+	Workload string      `json:"workload"`
+	Policy   string      `json:"policy"`
+	Variant  VariantSpec `json:"variant,omitempty"`
+}
+
+// VariantSpec mirrors harness.Variant on the wire.
+type VariantSpec struct {
+	CapacityOnly    bool   `json:"capacity_only,omitempty"`
+	LatencyOnly     bool   `json:"latency_only,omitempty"`
+	ExtraHitLatency uint64 `json:"extra_hit_latency,omitempty"`
+	SampleSeries    bool   `json:"sample_series,omitempty"`
+}
+
+func (v VariantSpec) toVariant() harness.Variant {
+	return harness.Variant{
+		CapacityOnly:    v.CapacityOnly,
+		LatencyOnly:     v.LatencyOnly,
+		ExtraHitLatency: v.ExtraHitLatency,
+		SampleSeries:    v.SampleSeries,
+	}
+}
+
+// SubmitRequest is the body of POST /v1/runs: either one inline run
+// (workload/policy/variant at the top level) or a batch under "runs",
+// plus optional machine-config overrides and a per-job deadline.
+type SubmitRequest struct {
+	Workload string      `json:"workload,omitempty"`
+	Policy   string      `json:"policy,omitempty"`
+	Variant  VariantSpec `json:"variant,omitempty"`
+
+	Runs []RunSpec `json:"runs,omitempty"`
+
+	Config     *ConfigOverrides `json:"config,omitempty"`
+	DeadlineMS int64            `json:"deadline_ms,omitempty"`
+}
+
+// SubmitResponse acknowledges an admitted job.
+type SubmitResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Runs   int    `json:"runs"`
+}
+
+// RunResult is one completed run in a job's result set.
+type RunResult struct {
+	Workload     string      `json:"workload"`
+	Policy       string      `json:"policy"`
+	Variant      VariantSpec `json:"variant,omitempty"`
+	Cycles       uint64      `json:"cycles"`
+	Instructions uint64      `json:"instructions"`
+	IPC          float64     `json:"ipc"`
+	HitRate      float64     `json:"hit_rate"`
+	// StateHash is sim.Result.StateHash rendered as 0x%016x — the
+	// determinism contract: byte-identical to a direct Suite.MustRun of
+	// the same (workload, policy, variant, config).
+	StateHash string `json:"state_hash"`
+	// Cached is best-effort attribution: false when this job observed
+	// the run execute fresh, true when it was served from the resident
+	// cache (possibly warmed by an earlier job).
+	Cached     bool    `json:"cached"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// JobStatus renders a job's externally visible state.
+type JobStatus struct {
+	ID      string      `json:"id"`
+	Status  string      `json:"status"`
+	Error   string      `json:"error,omitempty"`
+	Runs    int         `json:"runs"`
+	Results []RunResult `json:"results,omitempty"`
+}
+
+// ConfigOverrides is the subset of sim.Config a request may change.
+// Pointer fields distinguish "absent" from zero; every present value is
+// validated before a suite is keyed on it.
+type ConfigOverrides struct {
+	NumSMs          *int    `json:"num_sms,omitempty"`
+	MaxWarpsPerSM   *int    `json:"max_warps_per_sm,omitempty"`
+	L1Ports         *int    `json:"l1_ports,omitempty"`
+	MSHRs           *int    `json:"mshrs,omitempty"`
+	L1SizeBytes     *int    `json:"l1_size_bytes,omitempty"`
+	L2SizeBytes     *int    `json:"l2_size_bytes,omitempty"`
+	WriteThroughL1  *bool   `json:"write_through_l1,omitempty"`
+	MaxInstructions *uint64 `json:"max_instructions,omitempty"`
+	MaxCycles       *uint64 `json:"max_cycles,omitempty"`
+}
+
+// apply copies cfg, overlays the present overrides, and validates them.
+func (o *ConfigOverrides) apply(cfg sim.Config) (sim.Config, error) {
+	if o == nil {
+		return cfg, nil
+	}
+	setInt := func(name string, dst *int, v *int) error {
+		if v == nil {
+			return nil
+		}
+		if *v < 1 {
+			return fmt.Errorf("config override %s must be >= 1, got %d", name, *v)
+		}
+		*dst = *v
+		return nil
+	}
+	setUint := func(name string, dst *uint64, v *uint64) error {
+		if v == nil {
+			return nil
+		}
+		if *v == 0 {
+			return fmt.Errorf("config override %s must be > 0", name)
+		}
+		*dst = *v
+		return nil
+	}
+	for _, err := range []error{
+		setInt("num_sms", &cfg.NumSMs, o.NumSMs),
+		setInt("max_warps_per_sm", &cfg.MaxWarpsPerSM, o.MaxWarpsPerSM),
+		setInt("l1_ports", &cfg.L1Ports, o.L1Ports),
+		setInt("mshrs", &cfg.MSHRs, o.MSHRs),
+		setInt("l1_size_bytes", &cfg.Cache.SizeBytes, o.L1SizeBytes),
+		setInt("l2_size_bytes", &cfg.Mem.L2SizeBytes, o.L2SizeBytes),
+		setUint("max_instructions", &cfg.MaxInstructions, o.MaxInstructions),
+		setUint("max_cycles", &cfg.MaxCycles, o.MaxCycles),
+	} {
+		if err != nil {
+			return sim.Config{}, err
+		}
+	}
+	if o.WriteThroughL1 != nil {
+		cfg.WriteThroughL1 = *o.WriteThroughL1
+	}
+	if cfg.Cache.SizeBytes < cfg.Cache.LineSize*cfg.Cache.Ways {
+		return sim.Config{}, fmt.Errorf("config override l1_size_bytes %d is below one set (%d)",
+			cfg.Cache.SizeBytes, cfg.Cache.LineSize*cfg.Cache.Ways)
+	}
+	return cfg, nil
+}
+
+// fingerprint folds the scalar machine parameters of a config into one
+// key, so every job that resolves to the same machine shares one
+// resident suite (and therefore one result cache). Codec wiring and
+// trace hooks are fixed for the daemon's lifetime and deliberately not
+// part of the key.
+func fingerprint(cfg sim.Config) uint64 {
+	h := invariant.NewHash()
+	h.Int(int64(cfg.NumSMs))
+	h.Byte(byte(cfg.Scheduler))
+	h.Int(int64(cfg.MaxWarpsPerSM))
+	h.Int(int64(cfg.MaxBlocksPerSM))
+	h.Int(int64(cfg.SchedulersPerSM))
+	h.Int(int64(cfg.WarpSize))
+	h.Int(int64(cfg.L1Ports))
+	if cfg.WriteThroughL1 {
+		h.Byte(1)
+	} else {
+		h.Byte(0)
+	}
+	h.Int(int64(cfg.MSHRs))
+	h.Int(int64(cfg.Cache.SizeBytes))
+	h.Int(int64(cfg.Cache.LineSize))
+	h.Int(int64(cfg.Cache.Ways))
+	h.Uint64(cfg.Cache.HitLatency)
+	h.Uint64(cfg.Cache.ExtraHitLatency)
+	h.Uint64(cfg.Cache.DecompInitInterval)
+	h.Int(int64(cfg.Cache.DecompBufferEntries))
+	h.Int(int64(cfg.Mem.LineSize))
+	h.Int(int64(cfg.Mem.L2SizeBytes))
+	h.Int(int64(cfg.Mem.L2Ways))
+	h.Int(int64(cfg.Mem.L2Banks))
+	h.Uint64(cfg.Mem.L2Latency)
+	h.Uint64(cfg.Mem.L2Service)
+	h.Int(int64(cfg.Mem.DRAMChannels))
+	h.Uint64(cfg.Mem.DRAMLatency)
+	h.Uint64(cfg.Mem.DRAMService)
+	h.Uint64(cfg.ToleranceWindow)
+	h.Float64(cfg.ToleranceCap)
+	h.Uint64(cfg.MaxInstructions)
+	h.Uint64(cfg.MaxCycles)
+	if cfg.FlushL1AtKernelBoundary {
+		h.Byte(1)
+	} else {
+		h.Byte(0)
+	}
+	h.Uint64(cfg.SampleEvery)
+	return h.Sum()
+}

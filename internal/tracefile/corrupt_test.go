@@ -1,0 +1,145 @@
+package tracefile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"lattecc/internal/modes"
+	"lattecc/internal/policy"
+	"lattecc/internal/sim"
+	"lattecc/internal/workload"
+)
+
+// TestCorruptHeader covers every way the fixed header can go wrong:
+// empty input, a cut magic, a wrong magic, a name length cut mid-varint,
+// an absurd name length, and a name shorter than promised. All must
+// error from NewReader; none may succeed or panic.
+func TestCorruptHeader(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"partial magic", "LC"},
+		{"bad magic", "NOPE...."},
+		{"magic only", "LCT1"},
+		{"name length cut mid-varint", "LCT1\x80"},
+		{"name shorter than promised", "LCT1\x05AB"},
+	}
+	for _, tc := range cases {
+		r, err := NewReader(strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: NewReader accepted corrupt header (workload %q)", tc.name, r.Workload())
+			continue
+		}
+		if err == io.EOF {
+			t.Errorf("%s: bare io.EOF leaks a silent short read: %v", tc.name, err)
+		}
+	}
+
+	// Implausible name length must be rejected before allocating it.
+	huge := append([]byte(magic), 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)
+	if _, err := NewReader(bytes.NewReader(huge)); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("huge name length: got %v", err)
+	}
+}
+
+// TestTruncationAtEveryByte writes a real multi-record trace and then
+// replays it cut at every possible byte offset. The contract under
+// test: io.EOF surfaces only on record boundaries (a clean end), every
+// other cut point reports a wrapped io.ErrUnexpectedEOF, and no cut
+// panics or silently drops the tail. Multi-byte varint addresses make
+// sure several cut points land mid-uvarint.
+func TestTruncationAtEveryByte(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{SM: 0, Cycle: 1, Addr: 0x80, Write: false},        // 2-byte addr varint
+		{SM: 1, Cycle: 300, Addr: 0xFFFFFF80, Write: true}, // multi-byte delta and addr
+		{SM: 0, Cycle: 2, Addr: 0x40, Write: false},
+	}
+	// Flush after every record to learn each boundary's byte offset.
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	headerLen := buf.Len()
+	boundaries := map[int]bool{headerLen: true}
+	for _, rec := range recs {
+		w.Record(rec.SM, rec.Cycle, rec.Addr, rec.Write)
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		boundaries[buf.Len()] = true
+	}
+	full := buf.Bytes()
+
+	for cut := headerLen; cut <= len(full); cut++ {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: header rejected: %v", cut, err)
+		}
+		n := 0
+		for {
+			_, err = r.Next()
+			if err != nil {
+				break
+			}
+			n++
+		}
+		if boundaries[cut] {
+			if err != io.EOF {
+				t.Errorf("cut %d is a record boundary, want clean io.EOF, got %v", cut, err)
+			}
+		} else {
+			if err == io.EOF {
+				t.Errorf("cut %d: mid-record truncation surfaced as clean io.EOF after %d records", cut, n)
+			} else if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Errorf("cut %d: want wrapped io.ErrUnexpectedEOF, got %v", cut, err)
+			}
+		}
+	}
+}
+
+// TestUvarintOverflow feeds a varint that never terminates within 64
+// bits; the reader must reject it rather than loop or wrap around.
+func TestUvarintOverflow(t *testing.T) {
+	evil := append([]byte("LCT1\x01T"), bytes.Repeat([]byte{0xFF}, 11)...)
+	r, err := NewReader(bytes.NewReader(evil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	if err == nil || !strings.Contains(err.Error(), "overflows") {
+		t.Fatalf("want overflow error, got %v", err)
+	}
+}
+
+// TestReplayRejectsTruncatedTrace: a cut trace must fail Replay with an
+// identifying error, not return statistics over a silently shortened
+// access stream.
+func TestReplayRejectsTruncatedTrace(t *testing.T) {
+	buf, _ := recordedTrace(t, "BO")
+	full := buf.Bytes()
+	trunc := full[:len(full)-3] // inside the final record
+
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, _ := workload.ByName("BO")
+	_, err = Replay(r, sim.DefaultConfig().Cache, func(int) modes.Controller {
+		return policy.NewStatic(modes.None, "Uncompressed", 256, 10)
+	}, wl.Data(), "Uncompressed")
+	if err == nil {
+		t.Fatal("Replay accepted a truncated trace")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want io.ErrUnexpectedEOF, got %v", err)
+	}
+}

@@ -119,8 +119,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(head) != magic {
 		return nil, fmt.Errorf("tracefile: bad magic %q", head)
 	}
-	n, err := binary.ReadUvarint(br)
+	n, err := readUvarint(br)
 	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // header promised a name length
+		}
 		return nil, fmt.Errorf("tracefile: name length: %w", err)
 	}
 	if n > 1<<16 {
@@ -136,27 +139,76 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Workload returns the workload name stored in the header.
 func (r *Reader) Workload() string { return r.workload }
 
-// Next returns the next record, or io.EOF at the end.
+// Next returns the next record, or io.EOF at the end. io.EOF only ever
+// means a clean end on a record boundary: a stream cut anywhere inside
+// a record — including mid-uvarint — comes back as a wrapped
+// io.ErrUnexpectedEOF, never a silent short read.
 func (r *Reader) Next() (Record, error) {
-	sm, err := binary.ReadUvarint(r.r)
+	sm, err := readUvarint(r.r)
 	if err != nil {
-		return Record{}, err // io.EOF passes through
+		if err == io.EOF {
+			return Record{}, io.EOF // clean end between records
+		}
+		return Record{}, fmt.Errorf("tracefile: truncated record (sm): %w", err)
 	}
-	delta, err := binary.ReadUvarint(r.r)
+	delta, err := r.readField("cycle delta")
 	if err != nil {
-		return Record{}, fmt.Errorf("tracefile: truncated record: %w", err)
+		return Record{}, err
 	}
-	addr, err := binary.ReadUvarint(r.r)
+	addr, err := r.readField("line addr")
 	if err != nil {
-		return Record{}, fmt.Errorf("tracefile: truncated record: %w", err)
+		return Record{}, err
 	}
 	flags, err := r.r.ReadByte()
 	if err != nil {
-		return Record{}, fmt.Errorf("tracefile: truncated record: %w", err)
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Record{}, fmt.Errorf("tracefile: truncated record (flags): %w", err)
 	}
 	cycle := r.lastCycle[int(sm)] + delta
 	r.lastCycle[int(sm)] = cycle
 	return Record{SM: int(sm), Cycle: cycle, Addr: addr, Write: flags&1 != 0}, nil
+}
+
+// readField decodes a uvarint that must be present — the record already
+// started, so even a clean EOF here is a truncation.
+func (r *Reader) readField(name string) (uint64, error) {
+	v, err := readUvarint(r.r)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, fmt.Errorf("tracefile: truncated record (%s): %w", name, err)
+	}
+	return v, nil
+}
+
+// readUvarint is binary.ReadUvarint with honest truncation reporting:
+// the stdlib version returns a bare io.EOF even when the stream dies in
+// the middle of a multi-byte varint, which a record loop would mistake
+// for a clean end of trace. Here io.EOF can only surface before the
+// first byte; EOF after that becomes io.ErrUnexpectedEOF.
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if i == binary.MaxVarintLen64 || (i == binary.MaxVarintLen64-1 && b > 1) {
+			return 0, fmt.Errorf("uvarint overflows 64 bits")
+		}
+		if b < 0x80 {
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
 }
 
 // ReplayResult aggregates per-policy replay statistics.
