@@ -15,6 +15,7 @@ package cache
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"lattecc/internal/compress"
 	"lattecc/internal/invariant"
@@ -628,3 +629,54 @@ func (c *Cache) Flush() {
 
 // ResetStats zeroes the counters without touching contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// LineView is one valid line as exposed to external verifiers (the
+// differential oracle): everything that determines future behaviour
+// except the opaque LRU counter, whose effect is captured by SetView's
+// ordering instead.
+type LineView struct {
+	Tag       uint64
+	Mode      modes.Mode
+	SubBlocks int
+	Gen       uint64
+}
+
+// SetView is one set's observable state: the valid lines in recency
+// order (least recently used first, so Lines[0] is the next victim) and
+// the sub-block occupancy accounting.
+type SetView struct {
+	Lines    []LineView
+	FreeSub  int
+	TotalSub int
+}
+
+// SnapshotSet renders one set for state diffing. It panics on an
+// out-of-range index (verification tooling passing a bad set is a
+// programming error, not input).
+func (c *Cache) SnapshotSet(si int) SetView {
+	if si < 0 || si >= c.numSets {
+		//lint:allow panic-audit verifier-facing accessor; an out-of-range set index is a caller bug
+		panic(fmt.Sprintf("cache: SnapshotSet(%d) with %d sets", si, c.numSets))
+	}
+	s := &c.sets[si]
+	type ranked struct {
+		lru  uint64
+		view LineView
+	}
+	var rs []ranked
+	for i := range s.lines {
+		l := &s.lines[i]
+		if !l.valid {
+			continue
+		}
+		rs = append(rs, ranked{lru: l.lru, view: LineView{
+			Tag: l.tag, Mode: l.mode, SubBlocks: l.subBlocks, Gen: l.gen,
+		}})
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].lru < rs[j].lru })
+	v := SetView{FreeSub: s.freeSub, TotalSub: s.totalSub}
+	for _, r := range rs {
+		v.Lines = append(v.Lines, r.view)
+	}
+	return v
+}

@@ -222,6 +222,9 @@ func appendIntLE(dst []byte, v int64, size int) []byte {
 
 // Decompress implements Codec.
 func (*BDI) Decompress(enc Encoded) ([]byte, error) {
+	if err := decodeFault("bdi"); err != nil {
+		return nil, err
+	}
 	if len(enc.Data) == 0 {
 		return nil, fmt.Errorf("bdi: empty stream")
 	}

@@ -217,6 +217,9 @@ func bpcDecodeBase(r *bitReader) (uint32, error) {
 
 // Decompress implements Codec.
 func (*BPC) Decompress(enc Encoded) ([]byte, error) {
+	if err := decodeFault("bpc"); err != nil {
+		return nil, err
+	}
 	r := bitReader{buf: enc.Data}
 	base, err := bpcDecodeBase(&r)
 	if err != nil {

@@ -20,6 +20,8 @@ package compress
 import (
 	"encoding/binary"
 	"fmt"
+
+	"lattecc/internal/fault"
 )
 
 // LineSize is the cache line size in bytes (Table II: 128B lines).
@@ -78,6 +80,18 @@ func (e Encoded) CompressionRatio() float64 {
 		return 1
 	}
 	return float64(LineSize) / float64(e.Size)
+}
+
+// decodeFault is the codec.decode fault-injection point: every codec's
+// Decompress consults it before touching its stream, so the conformance
+// layer can prove that a decode failure surfaces as an error all the way
+// up through the cache's paranoid fill checks and the daemon's job
+// lifecycle — never as a panic or a silently wrong line.
+func decodeFault(codec string) error {
+	if fault.Hit("codec.decode") {
+		return fault.Errorf("codec.decode", "%s decode failed", codec)
+	}
+	return nil
 }
 
 // checkLine panics if the input is not exactly one cache line. Codecs are

@@ -3,6 +3,7 @@ package compress
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -553,6 +554,77 @@ func TestDecompressCorruptStreams(t *testing.T) {
 	}
 	if _, err := NewBDI().Decompress(Encoded{Data: []byte{200}}); err == nil {
 		t.Error("BDI unknown encoding must error")
+	}
+}
+
+// decodeCorrupt feeds one corrupted encoding to a codec and enforces the
+// robustness contract: the decoder must not panic or over-read, and must
+// either report an error or return a full line. The payload carries no
+// checksum, so corrupted streams that still parse may legally decode to
+// different bytes — byte equality is NOT part of the contract here.
+func decodeCorrupt(t *testing.T, c Codec, enc Encoded, what string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: %s: decoder panicked: %v", c.Name(), what, r)
+		}
+	}()
+	dec, err := c.Decompress(enc)
+	if err != nil {
+		return
+	}
+	if len(dec) != LineSize {
+		t.Errorf("%s: %s: no error but %d-byte line", c.Name(), what, len(dec))
+	}
+}
+
+// TestDecompressCorruptStreamSweep is the table-driven robustness sweep:
+// every codec, a corpus of value classes, and for each resulting
+// encoding (a) truncation to every prefix length and (b) a bit flip at
+// every bit of every byte offset.
+func TestDecompressCorruptStreamSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dict := scTestDictionary()
+	corpus := [][]byte{
+		make([]byte, LineSize), // all zeros
+		lineFromDict(rng, dict),
+		lineFromDict(rng, dict),
+	}
+	{ // repeated 8-byte pattern
+		line := make([]byte, LineSize)
+		for off := 0; off < LineSize; off += 8 {
+			copy(line[off:], []byte{1, 2, 3, 4, 5, 6, 7, 8})
+		}
+		corpus = append(corpus, line)
+	}
+	{ // small-stride words, then uniform noise
+		line := make([]byte, LineSize)
+		for i := 0; i < WordsPerLine; i++ {
+			binary.LittleEndian.PutUint32(line[i*4:], 0x1000+uint32(i)*3)
+		}
+		corpus = append(corpus, line)
+		noise := make([]byte, LineSize)
+		rng.Read(noise)
+		corpus = append(corpus, noise)
+	}
+
+	for _, c := range testCodecs(t) {
+		for li, line := range corpus {
+			enc := c.Compress(line)
+			for cut := 0; cut < len(enc.Data); cut++ {
+				trunc := enc
+				trunc.Data = enc.Data[:cut]
+				decodeCorrupt(t, c, trunc, fmt.Sprintf("line %d truncated to %d/%d bytes", li, cut, len(enc.Data)))
+			}
+			for off := 0; off < len(enc.Data); off++ {
+				for bit := 0; bit < 8; bit++ {
+					flip := enc
+					flip.Data = append([]byte(nil), enc.Data...)
+					flip.Data[off] ^= 1 << bit
+					decodeCorrupt(t, c, flip, fmt.Sprintf("line %d bit %d of byte %d flipped", li, bit, off))
+				}
+			}
+		}
 	}
 }
 

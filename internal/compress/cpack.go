@@ -107,6 +107,9 @@ func cpackFind(dict []uint32, v, mask uint32) int {
 
 // Decompress implements Codec.
 func (*CPACK) Decompress(enc Encoded) ([]byte, error) {
+	if err := decodeFault("cpack"); err != nil {
+		return nil, err
+	}
 	if len(enc.Data) == 0 {
 		return nil, fmt.Errorf("cpack: empty stream")
 	}

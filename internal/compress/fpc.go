@@ -115,6 +115,9 @@ func fpcIsRepByte(v uint32) bool {
 
 // Decompress implements Codec.
 func (*FPC) Decompress(enc Encoded) ([]byte, error) {
+	if err := decodeFault("fpc"); err != nil {
+		return nil, err
+	}
 	r := bitReader{buf: enc.Data}
 	var words [WordsPerLine]uint32
 	for i := 0; i < WordsPerLine; {

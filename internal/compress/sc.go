@@ -104,6 +104,9 @@ func (s *SC) Compress(line []byte) Encoded {
 // Decompress implements Codec. It fails if the line was encoded under a
 // different code-book generation — such lines must have been flushed.
 func (s *SC) Decompress(enc Encoded) ([]byte, error) {
+	if err := decodeFault("sc"); err != nil {
+		return nil, err
+	}
 	if enc.Raw {
 		if len(enc.Data) < LineSize {
 			return nil, fmt.Errorf("sc: raw payload too short")
@@ -134,6 +137,40 @@ func (s *SC) Decompress(enc Encoded) ([]byte, error) {
 		}
 	}
 	return putWords32(words), nil
+}
+
+// CodeEntry is one published code-book entry: the canonical Huffman code
+// (Bits, MSB-first, Len bits long) for either a concrete 32-bit value or
+// the escape symbol that prefixes 32-bit literals.
+type CodeEntry struct {
+	Value  uint32
+	Escape bool
+	Bits   uint64
+	Len    uint
+}
+
+// CodeBook returns the current code book in canonical order (shortest
+// codes first), or nil before the first rebuild. Independent reference
+// decoders (internal/oracle) use it to decode SC streams bit by bit
+// without sharing any of this codec's decode tables.
+func (s *SC) CodeBook() []CodeEntry {
+	if s.table == nil {
+		return nil
+	}
+	t := s.table
+	out := make([]CodeEntry, 0, len(t.symbols))
+	for l := uint(1); l <= maxCodeLen; l++ {
+		for i := 0; i < t.countAtLen[l]; i++ {
+			sym := t.symbols[t.firstIndex[l]+i]
+			out = append(out, CodeEntry{
+				Value:  sym.value,
+				Escape: sym.escape,
+				Bits:   t.firstCode[l] + uint64(i),
+				Len:    l,
+			})
+		}
+	}
+	return out
 }
 
 // VFTEntries is the value-frequency table capacity (Section IV-C2).

@@ -1,0 +1,117 @@
+// Package fault is LATTE-CC's fault-injection registry: named hook
+// points in production code ask Hit whether an injected fault should
+// fire, and tests (or the LATTECC_FAULT environment variable) arm those
+// points with a bounded shot count. The conformance layer uses it to
+// prove the daemon and harness degrade gracefully — a codec decode
+// error, a full admission queue, a cancelled run — instead of wedging
+// or corrupting the result cache.
+//
+// Hook points currently wired:
+//
+//	codec.decode          every codec's Decompress returns an error
+//	server.queue-overflow handleSubmit behaves as if the queue is full
+//	server.cancel-run     a job's context is cancelled at execution start
+//
+// Arm points programmatically (fault.Arm("codec.decode", 1)) or at
+// process start: LATTECC_FAULT=codec.decode:1,server.queue-overflow
+// (a missing :count arms the point permanently).
+//
+// The disarmed fast path is one atomic load, so production code may
+// call Hit unconditionally on hot-ish paths. Faults are process-global:
+// tests that arm points must not run in parallel with each other and
+// must Reset when done.
+package fault
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// armed is the fast-path gate: true while any point has shots left.
+var armed atomic.Bool
+
+var (
+	mu     sync.Mutex
+	points = map[string]int{} // point -> remaining shots (-1 = unbounded)
+)
+
+func init() {
+	spec := os.Getenv("LATTECC_FAULT")
+	if spec == "" {
+		return
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, countStr, hasCount := strings.Cut(part, ":")
+		count := -1
+		if hasCount {
+			n, err := strconv.Atoi(countStr)
+			if err != nil || n < 0 {
+				continue // malformed specs are ignored, never fatal
+			}
+			count = n
+		}
+		Arm(name, count)
+	}
+}
+
+// Arm schedules the named point to fire times times (times < 0 means
+// every time until Disarm). Arming with times == 0 disarms the point.
+func Arm(name string, times int) {
+	mu.Lock()
+	defer mu.Unlock()
+	if times == 0 {
+		delete(points, name)
+	} else {
+		points[name] = times
+	}
+	armed.Store(len(points) > 0)
+}
+
+// Disarm clears one point.
+func Disarm(name string) { Arm(name, 0) }
+
+// Reset clears every armed point (test cleanup).
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]int{}
+	armed.Store(false)
+}
+
+// Hit reports whether the named point should fire now, consuming one
+// shot when it does. Disarmed cost is a single atomic load.
+func Hit(name string) bool {
+	if !armed.Load() {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	n, ok := points[name]
+	if !ok {
+		return false
+	}
+	if n > 0 {
+		n--
+		if n == 0 {
+			delete(points, name)
+		} else {
+			points[name] = n
+		}
+		armed.Store(len(points) > 0)
+	}
+	return true
+}
+
+// Errorf builds the error an armed hook point should return, tagged so
+// tests can tell an injected failure from a genuine one.
+func Errorf(name, format string, args ...interface{}) error {
+	return fmt.Errorf("injected fault %s: %s", name, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,46 @@
+package fault
+
+import "testing"
+
+func TestArmHitDisarm(t *testing.T) {
+	defer Reset()
+
+	if Hit("x") {
+		t.Fatal("unarmed point fired")
+	}
+	Arm("x", 2)
+	if !Hit("x") || !Hit("x") {
+		t.Fatal("armed point did not fire twice")
+	}
+	if Hit("x") {
+		t.Fatal("point fired beyond its shot count")
+	}
+
+	Arm("y", -1)
+	for i := 0; i < 5; i++ {
+		if !Hit("y") {
+			t.Fatal("unbounded point stopped firing")
+		}
+	}
+	Disarm("y")
+	if Hit("y") {
+		t.Fatal("disarmed point fired")
+	}
+}
+
+func TestResetClearsAll(t *testing.T) {
+	Arm("a", -1)
+	Arm("b", 3)
+	Reset()
+	if Hit("a") || Hit("b") {
+		t.Fatal("Reset left a point armed")
+	}
+}
+
+func TestErrorfTagsInjection(t *testing.T) {
+	err := Errorf("codec.decode", "boom %d", 7)
+	want := "injected fault codec.decode: boom 7"
+	if err.Error() != want {
+		t.Fatalf("Errorf = %q, want %q", err, want)
+	}
+}

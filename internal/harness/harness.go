@@ -7,7 +7,9 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -209,14 +211,47 @@ func (s *Suite) Run(workloadName string, p Policy, v Variant) (sim.Result, error
 	if e.err == nil {
 		s.sims.Add(1)
 	}
+	// Deterministic failures stay cached, but a recovered panic is not
+	// assumed deterministic (fault injection and invariant trips are
+	// per-run conditions): drop the entry so a later Run retries instead
+	// of replaying a stale crash. Waiters already holding e still see
+	// this attempt's error.
+	var pe *PanicError
+	if errors.As(e.err, &pe) {
+		s.mu.Lock()
+		if s.results[k] == e {
+			delete(s.results, k)
+		}
+		s.mu.Unlock()
+	}
 	close(e.done)
 	return e.res, e.err
+}
+
+// PanicError wraps a panic recovered from a simulation so one poisoned
+// run (an injected fault, a tripped invariant, a codec bug) surfaces as
+// a job failure instead of killing the whole daemon or test process.
+type PanicError struct {
+	Val   interface{}
+	Stack []byte
+}
+
+// Error reports the panic value; the captured stack is for logs.
+func (e *PanicError) Error() string { return fmt.Sprintf("simulation panicked: %v", e.Val) }
+
+// recoverSim converts a panic on the simulation path into a *PanicError
+// assigned to err. Use in a defer with named returns.
+func recoverSim(err *error) {
+	if r := recover(); r != nil {
+		*err = &PanicError{Val: r, Stack: debug.Stack()}
+	}
 }
 
 // simulate executes one uncached run. It holds no locks: Kernel-OPT
 // recurses into Run for its three static prerequisites, which either
 // join in-flight simulations or execute inline on this goroutine.
-func (s *Suite) simulate(workloadName string, p Policy, v Variant) (sim.Result, error) {
+func (s *Suite) simulate(workloadName string, p Policy, v Variant) (res sim.Result, err error) {
+	defer recoverSim(&err)
 	w, err := workload.ByName(workloadName)
 	if err != nil {
 		return sim.Result{}, err
@@ -246,7 +281,7 @@ func (s *Suite) simulate(workloadName string, p Policy, v Variant) (sim.Result, 
 		cfg.Cache.Codecs[modes.HighCap] = highCap()
 	}
 
-	res := sim.New(cfg, w, factory).Run()
+	res = sim.New(cfg, w, factory).Run()
 	res.Policy = string(p)
 	return res, nil
 }
@@ -339,7 +374,8 @@ func (s *Suite) MissReduction(workloadName string, p Policy) (float64, error) {
 // RunWorkload simulates a custom workload under a policy on the given
 // machine, uncached (custom workloads have no stable identity to key on).
 // Kernel-OPT is supported: the three static runs execute first.
-func RunWorkload(cfg sim.Config, w trace.Workload, p Policy) (sim.Result, error) {
+func RunWorkload(cfg sim.Config, w trace.Workload, p Policy) (res sim.Result, err error) {
+	defer recoverSim(&err)
 	var schedule []modes.Mode
 	if p == KernelOpt {
 		statics := []struct {
@@ -378,7 +414,7 @@ func RunWorkload(cfg sim.Config, w trace.Workload, p Policy) (sim.Result, error)
 	if highCap != nil {
 		cfg.Cache.Codecs[modes.HighCap] = highCap()
 	}
-	res := sim.New(cfg, w, factory).Run()
+	res = sim.New(cfg, w, factory).Run()
 	res.Policy = string(p)
 	return res, nil
 }

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+
+	"lattecc/internal/fault"
+	"lattecc/internal/invariant"
+	"lattecc/internal/sim"
+	"lattecc/internal/workload"
+)
+
+// TestRunRecoversPanicAndRetries: an injected codec fault trips the
+// paranoid fill round-trip check, which panics. The suite must (a)
+// surface the panic as a *PanicError instead of crashing the process,
+// and (b) not cache it — the retry after the fault clears must simulate
+// fresh and match a clean suite's result bit for bit.
+func TestRunRecoversPanicAndRetries(t *testing.T) {
+	prev := invariant.SetActive(true)
+	defer invariant.SetActive(prev)
+	defer fault.Reset()
+
+	cfg := sim.DefaultConfig()
+	cfg.NumSMs = 1
+	cfg.MaxInstructions = 10_000
+	name := workload.Names()[0]
+
+	s := NewSuite(cfg)
+	fault.Arm("codec.decode", 1)
+	_, err := s.Run(name, StaticBDI, Variant{})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError from poisoned run, got %v", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("recovered panic carries no stack")
+	}
+
+	// The fault was one-shot; the retry must not see the cached panic.
+	res, err := s.Run(name, StaticBDI, Variant{})
+	if err != nil {
+		t.Fatalf("retry after fault cleared: %v", err)
+	}
+
+	clean := NewSuite(cfg)
+	want, err := clean.Run(name, StaticBDI, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StateHash() != want.StateHash() {
+		t.Errorf("retry state hash %#x differs from clean run %#x", res.StateHash(), want.StateHash())
+	}
+}

@@ -34,7 +34,7 @@ var boundaryImports = map[string]string{
 // the layers above the boundary (internal/server, internal/harness,
 // cmd/*): a daemon needs clocks and sockets; the model must not.
 func checkDeterminism(p *Package) []Finding {
-	if !cyclePackages[p.PkgPath] {
+	if !cyclePackages[p.PkgPath] && !determinismOnlyPackages[p.PkgPath] {
 		return nil
 	}
 	var out []Finding
@@ -71,6 +71,12 @@ func checkDeterminism(p *Package) []Finding {
 						report(n, "time.%s leaks wall-clock time into cycle-level state", n.Sel.Name)
 					}
 				case "math/rand", "math/rand/v2":
+					// Type references (*rand.Rand in a signature) are not
+					// draws; only calls through the package's global source
+					// are.
+					if _, isType := p.Info.Uses[n.Sel].(*types.TypeName); isType {
+						return true
+					}
 					if !randConstructors[n.Sel.Name] {
 						report(n, "global rand.%s draws from the shared source; use an explicitly seeded *rand.Rand", n.Sel.Name)
 					}

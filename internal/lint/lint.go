@@ -105,6 +105,16 @@ var harnessPackages = map[string]bool{
 	"lattecc/internal/harness": true,
 }
 
+// determinismOnlyPackages sit below the determinism boundary — their
+// results must be a pure function of (config, seed) so divergences
+// replay — but are exempt from the performance-oriented rules
+// (panic-audit, stats-integrity): the reference models in the oracle
+// are deliberately naive, never run inside a sweep, and panic loudly on
+// internal drift by design.
+var determinismOnlyPackages = map[string]bool{
+	"lattecc/internal/oracle": true,
+}
+
 // Run executes every rule over every package, drops findings covered by
 // //lint:allow comments, and returns the rest in file/line order.
 func Run(pkgs []*Package) []Finding {

@@ -228,6 +228,48 @@ func TestDeterminismBoundaryImports(t *testing.T) {
 	}
 }
 
+// TestOracleDeterminismOnlyExemption pins the oracle's lint posture:
+// internal/oracle is held to the determinism rules (it sits below the
+// boundary so divergences replay from a seed) but not to the
+// performance rules — its reference models are deliberately naive and
+// panic on internal drift. The same fixture under a cycle-level path
+// must additionally trip panic-audit.
+func TestOracleDeterminismOnlyExemption(t *testing.T) {
+	wantBoundary := []string{
+		"net/http",
+		"lattecc/internal/harness",
+		"lattecc/internal/server",
+	}
+
+	oracle := loadFixtureParseOnly(t, "oracle_exempt_fix.go", "lattecc/internal/oracle")
+	got := checkDeterminism(oracle)
+	if len(got) != len(wantBoundary) {
+		t.Fatalf("oracle: want %d boundary findings, got %d:\n%s", len(wantBoundary), len(got), renderAll(got))
+	}
+	for i, frag := range wantBoundary {
+		if !strings.Contains(got[i].Message, frag) {
+			t.Errorf("oracle finding %d: want message naming %q, got %q", i, frag, got[i].Message)
+		}
+	}
+	if got := checkPanicAudit(oracle); len(got) != 0 {
+		t.Errorf("oracle is exempt from panic-audit, got:\n%s", renderAll(got))
+	}
+	if got := checkStatsIntegrity(oracle); len(got) != 0 {
+		t.Errorf("oracle is exempt from stats-integrity, got:\n%s", renderAll(got))
+	}
+
+	// The identical file inside the simulator core is held to both rule
+	// families: same three boundary findings plus the hot-path panic.
+	sim := loadFixtureParseOnly(t, "oracle_exempt_fix.go", "lattecc/internal/sim")
+	if got := checkDeterminism(sim); len(got) != len(wantBoundary) {
+		t.Errorf("sim: want %d boundary findings, got %d:\n%s", len(wantBoundary), len(got), renderAll(got))
+	}
+	pa := checkPanicAudit(sim)
+	if len(pa) != 1 || !strings.Contains(pa[0].Message, "panic in tick") {
+		t.Errorf("sim: want one panic-audit finding in tick, got:\n%s", renderAll(pa))
+	}
+}
+
 // TestDeterminismLegalInServer pins the other half of the boundary
 // contract: wall-clock reads, global rand, and map iteration — all
 // banned below the boundary — produce zero findings under the

@@ -1,0 +1,473 @@
+package oracle
+
+import (
+	"fmt"
+
+	"lattecc/internal/compress"
+)
+
+// This file holds the bit-at-a-time reference decoders. Each one is an
+// independent re-implementation of its codec's documented stream format:
+// it shares no reader, no helper and no table with internal/compress, so
+// a bug in the optimized decoder (or encoder) surfaces as a differential
+// mismatch instead of cancelling itself out.
+
+// refBits reads a byte stream one bit at a time, most significant bit
+// of each byte first — the format every codec's software stream uses.
+type refBits struct {
+	data []byte
+	pos  int // absolute bit position
+}
+
+func (b *refBits) read(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		byteIdx := b.pos >> 3
+		if byteIdx >= len(b.data) {
+			return 0, fmt.Errorf("ref: stream exhausted at bit %d", b.pos)
+		}
+		bit := b.data[byteIdx] >> (7 - b.pos&7) & 1
+		v = v<<1 | uint64(bit)
+		b.pos++
+	}
+	return v, nil
+}
+
+// refSignExtend interprets the low n bits of v as an n-bit two's
+// complement value.
+func refSignExtend(v uint64, n int) int64 {
+	if n < 64 && v&(1<<(n-1)) != 0 {
+		v |= ^uint64(0) << n
+	}
+	return int64(v)
+}
+
+// RefDecodeBDI decodes a BDI stream: one encoding-id byte, then the
+// payload. Base-delta payloads are base | per-block mask | deltas, all
+// little-endian, deltas sign-extended; mask bit i set means block i is
+// base-relative, clear means zero-relative (immediate).
+func RefDecodeBDI(data []byte) ([]byte, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("ref bdi: empty stream")
+	}
+	out := make([]byte, compress.LineSize)
+	encID := data[0]
+	payload := data[1:]
+	// encoding ids in header order: zeros, rep8, b8d1, b8d2, b8d4, b4d1, b4d2, b2d1, raw
+	var baseSz, deltaSz int
+	switch encID {
+	case 0: // zeros
+		return out, nil
+	case 1: // rep8
+		if len(payload) < 8 {
+			return nil, fmt.Errorf("ref bdi: rep8 needs 8 payload bytes, have %d", len(payload))
+		}
+		for off := 0; off < compress.LineSize; off++ {
+			out[off] = payload[off%8]
+		}
+		return out, nil
+	case 8: // raw
+		if len(payload) < compress.LineSize {
+			return nil, fmt.Errorf("ref bdi: raw needs %d payload bytes, have %d", compress.LineSize, len(payload))
+		}
+		copy(out, payload[:compress.LineSize])
+		return out, nil
+	case 2:
+		baseSz, deltaSz = 8, 1
+	case 3:
+		baseSz, deltaSz = 8, 2
+	case 4:
+		baseSz, deltaSz = 8, 4
+	case 5:
+		baseSz, deltaSz = 4, 1
+	case 6:
+		baseSz, deltaSz = 4, 2
+	case 7:
+		baseSz, deltaSz = 2, 1
+	default:
+		return nil, fmt.Errorf("ref bdi: unknown encoding id %d", encID)
+	}
+	n := compress.LineSize / baseSz
+	maskLen := (n + 7) / 8
+	if len(payload) < baseSz+maskLen+n*deltaSz {
+		return nil, fmt.Errorf("ref bdi: truncated base-delta payload")
+	}
+	base := refLEInt(payload[:baseSz])
+	mask := payload[baseSz : baseSz+maskLen]
+	deltas := payload[baseSz+maskLen:]
+	for i := 0; i < n; i++ {
+		d := refLEInt(deltas[i*deltaSz : (i+1)*deltaSz])
+		v := d
+		if mask[i/8]>>(i%8)&1 == 1 {
+			v = base + d
+		}
+		for b := 0; b < baseSz; b++ {
+			out[i*baseSz+b] = byte(uint64(v) >> (8 * b))
+		}
+	}
+	return out, nil
+}
+
+// refLEInt reads a little-endian byte slice as a sign-extended integer.
+func refLEInt(b []byte) int64 {
+	var v uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return refSignExtend(v, len(b)*8)
+}
+
+// RefDecodeFPC decodes an FPC stream: per entry a 3-bit prefix selecting
+// a pattern, then that pattern's payload bits, until 32 words are
+// produced. Zero runs (prefix 0) carry a 3-bit run-minus-1 count.
+func RefDecodeFPC(data []byte) ([]byte, error) {
+	r := &refBits{data: data}
+	out := make([]byte, compress.LineSize)
+	w := 0
+	for w < compress.WordsPerLine {
+		prefix, err := r.read(3)
+		if err != nil {
+			return nil, fmt.Errorf("ref fpc: %w", err)
+		}
+		var v uint32
+		switch prefix {
+		case 0: // zero run
+			rn, err := r.read(3)
+			if err != nil {
+				return nil, fmt.Errorf("ref fpc: %w", err)
+			}
+			run := int(rn) + 1
+			if w+run > compress.WordsPerLine {
+				return nil, fmt.Errorf("ref fpc: zero run of %d overflows at word %d", run, w)
+			}
+			w += run
+			continue
+		case 1: // 4-bit sign-extended
+			p, err := r.read(4)
+			if err != nil {
+				return nil, fmt.Errorf("ref fpc: %w", err)
+			}
+			v = uint32(refSignExtend(p, 4))
+		case 2: // 8-bit sign-extended
+			p, err := r.read(8)
+			if err != nil {
+				return nil, fmt.Errorf("ref fpc: %w", err)
+			}
+			v = uint32(refSignExtend(p, 8))
+		case 3: // 16-bit sign-extended
+			p, err := r.read(16)
+			if err != nil {
+				return nil, fmt.Errorf("ref fpc: %w", err)
+			}
+			v = uint32(refSignExtend(p, 16))
+		case 4: // halfword zero: upper half significant
+			p, err := r.read(16)
+			if err != nil {
+				return nil, fmt.Errorf("ref fpc: %w", err)
+			}
+			v = uint32(p) << 16
+		case 5: // two sign-extended bytes, one per halfword
+			p, err := r.read(16)
+			if err != nil {
+				return nil, fmt.Errorf("ref fpc: %w", err)
+			}
+			hi := uint32(refSignExtend(p>>8, 8)) & 0xFFFF
+			lo := uint32(refSignExtend(p&0xFF, 8)) & 0xFFFF
+			v = hi<<16 | lo
+		case 6: // repeated byte
+			p, err := r.read(8)
+			if err != nil {
+				return nil, fmt.Errorf("ref fpc: %w", err)
+			}
+			v = uint32(p) * 0x01010101
+		case 7: // verbatim word
+			p, err := r.read(32)
+			if err != nil {
+				return nil, fmt.Errorf("ref fpc: %w", err)
+			}
+			v = uint32(p)
+		}
+		putLE32(out, w, v)
+		w++
+	}
+	return out, nil
+}
+
+// RefDecodeCPACK decodes a CPACK stream. A first byte of 0xFF marks the
+// all-zero line; anything else is the software marker byte followed by
+// per-word codes against a 16-entry FIFO dictionary that this decoder
+// rebuilds exactly as the encoder filled it.
+func RefDecodeCPACK(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("ref cpack: empty stream")
+	}
+	out := make([]byte, compress.LineSize)
+	if data[0] == 0xFF {
+		return out, nil
+	}
+	r := &refBits{data: data, pos: 8}
+	var dict []uint32 // index 0 = most recently pushed
+	push := func(v uint32) {
+		dict = append([]uint32{v}, dict...)
+		if len(dict) > 16 {
+			dict = dict[:16]
+		}
+	}
+	lookup := func() (uint32, error) {
+		idx, err := r.read(4)
+		if err != nil {
+			return 0, err
+		}
+		if int(idx) >= len(dict) {
+			return 0, fmt.Errorf("ref cpack: dictionary index %d out of range %d", idx, len(dict))
+		}
+		return dict[idx], nil
+	}
+	for w := 0; w < compress.WordsPerLine; w++ {
+		c, err := r.read(2)
+		if err != nil {
+			return nil, fmt.Errorf("ref cpack: %w", err)
+		}
+		var v uint32
+		switch c {
+		case 0b00: // zero word
+		case 0b01: // verbatim, pushed
+			p, err := r.read(32)
+			if err != nil {
+				return nil, fmt.Errorf("ref cpack: %w", err)
+			}
+			v = uint32(p)
+			push(v)
+		case 0b10: // full dictionary match, not pushed
+			m, err := lookup()
+			if err != nil {
+				return nil, err
+			}
+			v = m
+		case 0b11: // extended codes 11xx
+			ext, err := r.read(2)
+			if err != nil {
+				return nil, fmt.Errorf("ref cpack: %w", err)
+			}
+			switch ext {
+			case 0b00: // zzzx: low byte literal
+				p, err := r.read(8)
+				if err != nil {
+					return nil, fmt.Errorf("ref cpack: %w", err)
+				}
+				v = uint32(p)
+				push(v)
+			case 0b01: // mmxx: match upper 2 bytes, low 2 literal
+				m, err := lookup()
+				if err != nil {
+					return nil, err
+				}
+				p, err := r.read(16)
+				if err != nil {
+					return nil, fmt.Errorf("ref cpack: %w", err)
+				}
+				v = m&0xFFFF0000 | uint32(p)
+				push(v)
+			case 0b10: // mmmx: match upper 3 bytes, low 1 literal
+				m, err := lookup()
+				if err != nil {
+					return nil, err
+				}
+				p, err := r.read(8)
+				if err != nil {
+					return nil, fmt.Errorf("ref cpack: %w", err)
+				}
+				v = m&0xFFFFFF00 | uint32(p)
+				push(v)
+			default:
+				return nil, fmt.Errorf("ref cpack: reserved code 1111")
+			}
+		}
+		putLE32(out, w, v)
+	}
+	return out, nil
+}
+
+// RefDecodeBPC decodes a BPC stream: the FPC-like base word, then the
+// 33 DBX planes from the most significant downward, each rebuilt into
+// its DBP plane by XOR with the previously decoded (higher) DBP plane,
+// and finally the inverse delta transform.
+func RefDecodeBPC(data []byte) ([]byte, error) {
+	const numDeltas = compress.WordsPerLine - 1 // 31
+	const numPlanes = 33                        // 33-bit signed deltas
+	allOnes := uint64(1)<<numDeltas - 1
+
+	r := &refBits{data: data}
+	code, err := r.read(3)
+	if err != nil {
+		return nil, fmt.Errorf("ref bpc: %w", err)
+	}
+	var base uint32
+	switch code {
+	case 0b000:
+	case 0b001:
+		p, err := r.read(4)
+		if err != nil {
+			return nil, fmt.Errorf("ref bpc: %w", err)
+		}
+		base = uint32(refSignExtend(p, 4))
+	case 0b010:
+		p, err := r.read(8)
+		if err != nil {
+			return nil, fmt.Errorf("ref bpc: %w", err)
+		}
+		base = uint32(refSignExtend(p, 8))
+	case 0b011:
+		p, err := r.read(16)
+		if err != nil {
+			return nil, fmt.Errorf("ref bpc: %w", err)
+		}
+		base = uint32(refSignExtend(p, 16))
+	case 0b111:
+		p, err := r.read(32)
+		if err != nil {
+			return nil, fmt.Errorf("ref bpc: %w", err)
+		}
+		base = uint32(p)
+	default:
+		return nil, fmt.Errorf("ref bpc: bad base code %03b", code)
+	}
+
+	var dbp [numPlanes]uint64
+	prev := uint64(0) // DBP[numPlanes] defined as 0
+	k := numPlanes - 1
+	setPlane := func(dbx uint64) {
+		dbp[k] = dbx ^ prev
+		prev = dbp[k]
+		k--
+	}
+	for k >= 0 {
+		b, err := r.read(1)
+		if err != nil {
+			return nil, fmt.Errorf("ref bpc: %w", err)
+		}
+		if b == 1 { // 1 + raw plane
+			dbx, err := r.read(numDeltas)
+			if err != nil {
+				return nil, fmt.Errorf("ref bpc: %w", err)
+			}
+			setPlane(dbx)
+			continue
+		}
+		b, err = r.read(1)
+		if err != nil {
+			return nil, fmt.Errorf("ref bpc: %w", err)
+		}
+		if b == 1 { // 01 + 5b: zero run of 2-33 planes
+			rn, err := r.read(5)
+			if err != nil {
+				return nil, fmt.Errorf("ref bpc: %w", err)
+			}
+			for j := 0; j < int(rn)+2; j++ {
+				if k < 0 {
+					return nil, fmt.Errorf("ref bpc: zero run overflows planes")
+				}
+				setPlane(0)
+			}
+			continue
+		}
+		b, err = r.read(1)
+		if err != nil {
+			return nil, fmt.Errorf("ref bpc: %w", err)
+		}
+		if b == 1 { // 001: single zero plane
+			setPlane(0)
+			continue
+		}
+		sub, err := r.read(2)
+		if err != nil {
+			return nil, fmt.Errorf("ref bpc: %w", err)
+		}
+		switch sub {
+		case 0b00: // 00000: all-ones DBX plane
+			setPlane(allOnes)
+		case 0b01: // 00001: DBP plane is zero
+			dbp[k] = 0
+			prev = 0
+			k--
+		case 0b10: // 00010 + 5b: two consecutive ones
+			pos, err := r.read(5)
+			if err != nil {
+				return nil, fmt.Errorf("ref bpc: %w", err)
+			}
+			setPlane(0b11 << pos)
+		case 0b11: // 00011 + 5b: single one
+			pos, err := r.read(5)
+			if err != nil {
+				return nil, fmt.Errorf("ref bpc: %w", err)
+			}
+			setPlane(1 << pos)
+		}
+	}
+
+	// Inverse transforms: planes -> deltas -> words.
+	out := make([]byte, compress.LineSize)
+	putLE32(out, 0, base)
+	cur := base
+	for i := 0; i < numDeltas; i++ {
+		var ud uint64
+		for p := 0; p < numPlanes; p++ {
+			ud |= dbp[p] >> i & 1 << p
+		}
+		d := refSignExtend(ud, numPlanes)
+		cur = uint32(int64(cur) + d)
+		putLE32(out, i+1, cur)
+	}
+	return out, nil
+}
+
+// RefDecodeSC decodes an SC stream against a published code book
+// (compress.SC.CodeBook): bits accumulate one at a time and are matched
+// by linear scan over the book's canonical entries; the escape entry
+// prefixes a 32-bit literal. Raw-encoded lines never reach this decoder
+// (their Data is the verbatim line).
+func RefDecodeSC(data []byte, book []compress.CodeEntry) ([]byte, error) {
+	if len(book) == 0 {
+		return nil, fmt.Errorf("ref sc: empty code book")
+	}
+	maxLen := uint(0)
+	for _, e := range book {
+		if e.Len > maxLen {
+			maxLen = e.Len
+		}
+	}
+	r := &refBits{data: data}
+	out := make([]byte, compress.LineSize)
+	for w := 0; w < compress.WordsPerLine; w++ {
+		var code uint64
+		var n uint
+		var hit *compress.CodeEntry
+		for hit == nil {
+			if n >= maxLen {
+				return nil, fmt.Errorf("ref sc: no code matches after %d bits", n)
+			}
+			b, err := r.read(1)
+			if err != nil {
+				return nil, fmt.Errorf("ref sc: %w", err)
+			}
+			code = code<<1 | b
+			n++
+			for i := range book {
+				if book[i].Len == n && book[i].Bits == code {
+					hit = &book[i]
+					break
+				}
+			}
+		}
+		v := hit.Value
+		if hit.Escape {
+			lit, err := r.read(32)
+			if err != nil {
+				return nil, fmt.Errorf("ref sc: %w", err)
+			}
+			v = uint32(lit)
+		}
+		putLE32(out, w, v)
+	}
+	return out, nil
+}

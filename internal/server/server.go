@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lattecc/internal/fault"
 	"lattecc/internal/harness"
 	"lattecc/internal/sim"
 )
@@ -196,6 +197,9 @@ func (s *Server) execute(j *Job) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), j.deadline)
 	defer cancel()
+	if fault.Hit("server.cancel-run") {
+		cancel() // injected fault: the deadline fires before any run starts
+	}
 
 	s.subscribe(j)
 	defer s.unsubscribe(j)
@@ -405,9 +409,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobs[id] = job
 	s.mu.Unlock()
 
-	select {
-	case s.queue <- job:
-	default:
+	accepted := false
+	if !fault.Hit("server.queue-overflow") { // injected fault: behave as if the queue were full
+		select {
+		case s.queue <- job:
+			accepted = true
+		default:
+		}
+	}
+	if !accepted {
 		s.mu.Lock()
 		delete(s.jobs, id)
 		s.mu.Unlock()

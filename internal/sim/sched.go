@@ -1,0 +1,54 @@
+package sim
+
+// WarpCandidate is one warp as the scheduler selection logic sees it:
+// its id and whether it can issue this cycle. Candidates are presented
+// in scheduler scan order (the SM's resident-warp order, which is age
+// order — ids strictly increase along the slice).
+type WarpCandidate struct {
+	ID    int
+	Ready bool
+}
+
+// PickWarp is the warp selection function shared by the SM model and
+// the differential oracle: given the scheduling policy, the id of the
+// last issued warp (-1 initially), and the candidates in scan order, it
+// returns the index of the chosen candidate, or ok=false when no
+// candidate is ready.
+//
+// GTO (greedy-then-oldest) sticks with the last issued warp while it is
+// ready, otherwise takes the first ready candidate in scan order (the
+// oldest). RR (loose round-robin) takes the first ready candidate whose
+// id follows the last issued warp's, wrapping to the first ready one.
+func PickWarp(kind SchedulerKind, lastWarp int, cands []WarpCandidate) (int, bool) {
+	first := -1         // first ready candidate in scan order
+	last := -1          // ready candidate with id == lastWarp
+	nextAfterLast := -1 // first ready candidate in scan order with id > lastWarp
+	for i := range cands {
+		if !cands[i].Ready {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		if cands[i].ID == lastWarp {
+			last = i
+		}
+		if nextAfterLast < 0 && cands[i].ID > lastWarp {
+			nextAfterLast = i
+		}
+	}
+	if first < 0 {
+		return -1, false
+	}
+	switch kind {
+	case SchedRR:
+		if nextAfterLast >= 0 {
+			return nextAfterLast, true
+		}
+	default: // SchedGTO
+		if last >= 0 {
+			return last, true
+		}
+	}
+	return first, true
+}

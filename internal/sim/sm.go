@@ -109,6 +109,10 @@ type sm struct {
 	loadTxns     uint64
 	storeTxns    uint64
 	stallMSHR    uint64
+
+	// per-cycle scheduler scratch, reused to keep schedule allocation-free
+	candScratch []WarpCandidate
+	warpScratch []*warp
 }
 
 func newSM(id int, cfg *Config, ctrl modes.Controller, cacheCfg cache.Config, m *mem.System, data trace.DataSource) *sm {
@@ -296,51 +300,38 @@ func (s *sm) loadTxn(req *memReq, now uint64) bool {
 }
 
 // schedule runs each warp scheduler once (one issue per scheduler per
-// cycle, Table II: 2 schedulers per SM).
+// cycle, Table II: 2 schedulers per SM). The selection itself lives in
+// PickWarp so the differential oracle exercises the exact production
+// logic; this method only gathers candidates and does the accounting.
 func (s *sm) schedule(now uint64) uint64 {
 	var issued uint64
 	for si := range s.scheds {
 		st := &s.scheds[si]
 
-		// Tolerance probe: ready warps on this scheduler.
+		cands := s.candScratch[:0]
+		byCand := s.warpScratch[:0]
 		ready := 0
-		var pick *warp
-		var last *warp
-		var nextAfterLast *warp
 		for _, w := range s.warps {
-			if w.sched != si || !w.ready(now) {
+			if w.sched != si {
 				continue
 			}
-			ready++
-			if w.id == st.lastWarp {
-				last = w
+			r := w.ready(now)
+			if r {
+				ready++
 			}
-			if nextAfterLast == nil && w.id > st.lastWarp {
-				nextAfterLast = w
-			}
-			if pick == nil {
-				pick = w // oldest ready (warps are in age order)
-			}
+			cands = append(cands, WarpCandidate{ID: w.id, Ready: r})
+			byCand = append(byCand, w)
 		}
+		s.candScratch, s.warpScratch = cands, byCand
+		// Tolerance probe: ready warps on this scheduler.
 		if ready > 0 {
 			st.readySum += uint64(ready - 1)
 		}
-		switch s.cfg.Scheduler {
-		case SchedRR:
-			// Round-robin: the first ready warp after the last issued
-			// one, wrapping to the oldest.
-			if nextAfterLast != nil {
-				pick = nextAfterLast
-			}
-		default:
-			// Greedy-then-oldest: stick with the last warp while ready.
-			if last != nil {
-				pick = last
-			}
-		}
-		if pick == nil {
+		idx, ok := PickWarp(s.cfg.Scheduler, st.lastWarp, cands)
+		if !ok {
 			continue
 		}
+		pick := byCand[idx]
 		if pick.id != st.lastWarp {
 			st.switches++
 			st.lastWarp = pick.id
