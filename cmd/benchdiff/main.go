@@ -1,20 +1,23 @@
 // Command benchdiff turns `go test -bench` output into a committed JSON
-// baseline (benchmark name -> ns/op plus domain metrics) and gates CI on
-// performance regressions against the previous baseline.
+// baseline (benchmark name -> ns/op, B/op, allocs/op plus domain metrics)
+// and gates CI on performance regressions against the previous baseline.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchtime 1x -count 3 . | \
-//	    benchdiff -out BENCH_PR3.json -baseline-dir . -max-regress 1.20
+//	go test -run '^$' -bench . -benchtime 1x -count 3 -benchmem . | \
+//	    benchdiff -out BENCH_PR6.json -baseline-dir . -max-regress 1.20
 //
-//	benchdiff -in bench.out -baseline BENCH_PR2.json   # explicit baseline
+//	benchdiff -in bench.out -baseline BENCH_PR3.json   # explicit baseline
 //
-// With -count > 1 the minimum ns/op per benchmark is kept, which damps
-// scheduler noise; domain metrics (speedup, ratio, ...) come from the
-// simulator and are deterministic. A benchmark regresses when its ns/op
-// exceeds baseline * max-regress. Benchmarks that appear or disappear
-// are reported but never fail the gate. With no baseline available
-// (first run) the tool just writes -out and succeeds.
+// With -count > 1 the minimum-ns/op run per benchmark is kept (its B/op
+// and allocs/op ride along), which damps scheduler noise; domain metrics
+// (speedup, ratio, ...) come from the simulator and are deterministic.
+// A benchmark regresses when its ns/op — or, when both sides recorded
+// them, its B/op or allocs/op — exceeds baseline * max-regress. Older
+// baselines written without -benchmem simply skip the allocation gates.
+// Benchmarks that appear or disappear are reported but never fail the
+// gate. With no baseline available (first run) the tool just writes
+// -out and succeeds.
 package main
 
 import (
@@ -31,10 +34,15 @@ import (
 	"strings"
 )
 
-// Bench is one benchmark's record in the JSON baseline.
+// Bench is one benchmark's record in the JSON baseline. BytesPerOp and
+// AllocsPerOp are pointers because baselines predating the allocation
+// gate (or runs without -benchmem) don't record them — nil means "not
+// measured", and the gate only fires when both sides have a value.
 type Bench struct {
-	NsPerOp float64            `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // File is the committed baseline format.
@@ -136,6 +144,7 @@ func parseBench(r io.Reader) (*File, error) {
 		name := strings.TrimPrefix(procSuffix.ReplaceAllString(m[1], ""), "Benchmark")
 		fields := strings.Fields(m[2])
 		var nsPerOp float64
+		var bytesPerOp, allocsPerOp *float64
 		metrics := map[string]float64{}
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -145,8 +154,14 @@ func parseBench(r io.Reader) (*File, error) {
 			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				nsPerOp = v
-			case "B/op", "allocs/op", "MB/s":
-				// machine metrics we don't gate on
+			case "B/op":
+				b := v
+				bytesPerOp = &b
+			case "allocs/op":
+				a := v
+				allocsPerOp = &a
+			case "MB/s":
+				// throughput restates ns/op; don't gate on it twice
 			default:
 				metrics[unit] = v
 			}
@@ -159,7 +174,13 @@ func parseBench(r io.Reader) (*File, error) {
 			if seen && len(metrics) == 0 {
 				metrics = prev.Metrics
 			}
-			out.Benchmarks[name] = Bench{NsPerOp: nsPerOp, Metrics: metrics}
+			if seen && bytesPerOp == nil {
+				bytesPerOp = prev.BytesPerOp
+			}
+			if seen && allocsPerOp == nil {
+				allocsPerOp = prev.AllocsPerOp
+			}
+			out.Benchmarks[name] = Bench{NsPerOp: nsPerOp, BytesPerOp: bytesPerOp, AllocsPerOp: allocsPerOp, Metrics: metrics}
 		}
 	}
 	return out, sc.Err()
@@ -204,7 +225,9 @@ func readBaseline(path string) (*File, error) {
 	return &f, nil
 }
 
-// compare reports per-benchmark deltas and fails on ns/op regressions.
+// compare reports per-benchmark deltas and fails on ns/op, B/op, or
+// allocs/op regressions. The allocation gates only fire when both the
+// baseline and the current run recorded the metric (-benchmem).
 func compare(base, current *File, basePath string, maxRegress float64) error {
 	names := make([]string, 0, len(current.Benchmarks))
 	for n := range current.Benchmarks {
@@ -226,6 +249,25 @@ func compare(base, current *File, basePath string, maxRegress float64) error {
 			status = "REGRESSED"
 			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx > %.2fx allowed)",
 				n, b.NsPerOp, cur.NsPerOp, ratio, maxRegress))
+		}
+		for _, g := range []struct {
+			unit      string
+			base, cur *float64
+		}{
+			{"B/op", b.BytesPerOp, cur.BytesPerOp},
+			{"allocs/op", b.AllocsPerOp, cur.AllocsPerOp},
+		} {
+			if g.base == nil || g.cur == nil {
+				continue // one side wasn't run with -benchmem
+			}
+			// A zero baseline gates on any allocation at all: once a
+			// path is proven allocation-free, a single alloc/op is a
+			// regression no ratio would catch.
+			if (*g.base == 0 && *g.cur > 0) || (*g.base > 0 && *g.cur / *g.base > maxRegress) {
+				status = "REGRESSED"
+				regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f %s (> %.2fx allowed)",
+					n, *g.base, *g.cur, g.unit, maxRegress))
+			}
 		}
 		fmt.Printf("%-9s %-50s %12.0f ns/op  (baseline %.0f, %.2fx)\n", status, n, cur.NsPerOp, b.NsPerOp, ratio)
 	}

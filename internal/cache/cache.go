@@ -201,6 +201,8 @@ func (c *Cache) setIndex(lineAddr uint64) int { return int(lineAddr % uint64(c.n
 // On a miss the caller must fetch the line and call Fill. The controller
 // observes every access; a returned flush directive is applied before the
 // result is returned.
+//
+//lint:hotpath
 func (c *Cache) Access(addr uint64, now uint64) Result {
 	lineAddr := addr / uint64(c.cfg.LineSize)
 	si := c.setIndex(lineAddr)
@@ -244,6 +246,8 @@ func (c *Cache) Access(addr uint64, now uint64) Result {
 // request waits for a pipeline slot (one issue per initiation interval),
 // then takes the codec's full decompression latency. Returns the extra
 // cycles beyond a normal hit.
+//
+//lint:hotpath
 func (c *Cache) decompress(m modes.Mode, now uint64) uint64 {
 	codec := c.cfg.Codecs[m]
 	if codec == nil {
@@ -270,6 +274,8 @@ func (c *Cache) decompress(m modes.Mode, now uint64) uint64 {
 
 // decompBufLookup reports whether the line's decompressed copy is still
 // buffered.
+//
+//lint:hotpath
 func (c *Cache) decompBufLookup(lineAddr uint64) bool {
 	for _, a := range c.decompBuf {
 		if a == lineAddr {
@@ -280,6 +286,8 @@ func (c *Cache) decompBufLookup(lineAddr uint64) bool {
 }
 
 // decompBufInsert records a freshly decompressed line (FIFO replacement).
+//
+//lint:hotpath
 func (c *Cache) decompBufInsert(lineAddr uint64) {
 	n := c.cfg.DecompBufferEntries
 	if n <= 0 {
@@ -308,6 +316,13 @@ func (c *Cache) decompBufDrop(lineAddr uint64) {
 // compressed according to the controller's mode for the set. It returns
 // the mode used. Fill also trains the high-capacity codec's value table:
 // the hardware VFT snoops the fill path regardless of the selected mode.
+//
+// The cache only ever stores sizes and modes, never encoded bytes, so
+// the steady-state fill uses Codec.Measure and allocates nothing; under
+// paranoid mode it runs the full Compress instead and verifies both the
+// round trip and that Measure agrees with it.
+//
+//lint:hotpath
 func (c *Cache) Fill(addr uint64, data []byte, now uint64) modes.Mode {
 	lineAddr := addr / uint64(c.cfg.LineSize)
 	si := c.setIndex(lineAddr)
@@ -319,8 +334,7 @@ func (c *Cache) Fill(addr uint64, data []byte, now uint64) modes.Mode {
 
 	mode := c.ctrl.InsertMode(si)
 	if !mode.Valid() {
-		//lint:allow panic-audit controller contract violation corrupts every stat; halt the run
-		panic(fmt.Sprintf("cache: controller returned invalid mode %d", mode))
+		badControllerMode(mode)
 	}
 	sub := c.subBlocksPerLine()
 	var gen uint64
@@ -329,11 +343,14 @@ func (c *Cache) Fill(addr uint64, data []byte, now uint64) modes.Mode {
 		if codec == nil {
 			mode = modes.None
 		} else {
-			enc := codec.Compress(data)
-			gen = enc.Generation
+			var enc compress.Encoded
 			if invariant.Active() {
+				enc = codec.Compress(data)
 				c.verifyEncoding(codec, enc, data)
+			} else {
+				enc = codec.Measure(data)
 			}
+			gen = enc.Generation
 			if c.cfg.LatencyOnly {
 				sub = c.subBlocksPerLine()
 			} else {
@@ -360,8 +377,7 @@ func (c *Cache) Fill(addr uint64, data []byte, now uint64) modes.Mode {
 	// Make room: need a free tag and sub sub-blocks.
 	for !c.hasRoom(s, sub) {
 		if !c.evictLRU(s) {
-			//lint:allow panic-audit unreachable by geometry; continuing would loop forever
-			panic("cache: cannot make room — geometry bug")
+			fillNoRoom()
 		}
 	}
 	for i := range s.lines {
@@ -383,10 +399,28 @@ func (c *Cache) Fill(addr uint64, data []byte, now uint64) modes.Mode {
 	return mode
 }
 
+// badControllerMode and fillNoRoom keep Fill's panic construction (and
+// its fmt boxing) out of the //lint:hotpath escape-analysis range; the
+// go:noinline stops the compiler from hauling it back in.
+//
+//go:noinline
+func badControllerMode(mode modes.Mode) {
+	//lint:allow panic-audit controller contract violation corrupts every stat; halt the run
+	panic(fmt.Sprintf("cache: controller returned invalid mode %d", mode))
+}
+
+//go:noinline
+func fillNoRoom() {
+	//lint:allow panic-audit unreachable by geometry; continuing would loop forever
+	panic("cache: cannot make room — geometry bug")
+}
+
 // verifyEncoding runs the paranoid-mode fill checks: the compressed size
-// must fit in (0, LineSize], and the encoding must round-trip back to
-// the exact inserted bytes (a codec that silently corrupts data would
-// otherwise only skew hit latencies, never fail a run).
+// must fit in (0, LineSize], the encoding must round-trip back to the
+// exact inserted bytes (a codec that silently corrupts data would
+// otherwise only skew hit latencies, never fail a run), and Measure must
+// report exactly what Compress produced — the steady-state fill path
+// trusts Measure alone.
 func (c *Cache) verifyEncoding(codec compress.Codec, enc compress.Encoded, data []byte) {
 	invariant.Assert(enc.Size > 0 && enc.Size <= c.cfg.LineSize,
 		"%s: compressed size %d outside (0, %d]", codec.Name(), enc.Size, c.cfg.LineSize)
@@ -396,6 +430,10 @@ func (c *Cache) verifyEncoding(codec compress.Codec, enc compress.Encoded, data 
 	}
 	invariant.Assert(bytes.Equal(dec, data),
 		"%s: fill round trip produced different bytes", codec.Name())
+	m := codec.Measure(data)
+	invariant.Assert(m.Size == enc.Size && m.Raw == enc.Raw && m.Generation == enc.Generation,
+		"%s: Measure (size %d, raw %v, gen %d) disagrees with Compress (size %d, raw %v, gen %d)",
+		codec.Name(), m.Size, m.Raw, m.Generation, enc.Size, enc.Raw, enc.Generation)
 }
 
 // checkSet verifies one set's occupancy accounting after a structural

@@ -112,6 +112,67 @@ func (*BDI) Compress(line []byte) Encoded {
 	}
 }
 
+// Measure implements Codec: it picks the same encoding Compress would
+// (bdiChoose shares the selection logic) but never builds a payload.
+//
+//lint:hotpath
+func (*BDI) Measure(line []byte) Encoded {
+	checkLine(line)
+	e := bdiChoose(line)
+	return Encoded{Size: bdiEncodedSize(e), Raw: e == bdiRaw}
+}
+
+// bdiTryOrder lists the base+delta encodings from smallest stored size
+// to largest — the preference order of both Compress and Measure. A
+// package-level array (not a slice) so ranging over it never allocates.
+var bdiTryOrder = [...]bdiEncoding{bdiB2D1, bdiB4D1, bdiB8D1, bdiB4D2, bdiB8D2, bdiB8D4}
+
+// bdiChoose returns the encoding bdiCompress would pick, allocation-free.
+//
+//lint:hotpath
+func bdiChoose(line []byte) bdiEncoding {
+	if isZeroLine(line) {
+		return bdiZeros
+	}
+	if _, ok := bdiRepeated8(line); ok {
+		return bdiRep8
+	}
+	best := bdiRaw
+	bestSize := LineSize
+	for _, e := range bdiTryOrder {
+		if bdiFitsBaseDelta(line, e) {
+			if size := bdiEncodedSize(e); size < bestSize {
+				best, bestSize = e, size
+			}
+		}
+	}
+	return best
+}
+
+// bdiFitsBaseDelta reports whether bdiTryBaseDelta would succeed for e,
+// using the same base selection but no payload materialisation.
+//
+//lint:hotpath
+func bdiFitsBaseDelta(line []byte, e bdiEncoding) bool {
+	baseSz, deltaSz := e.params()
+	n := LineSize / baseSz
+	deltaBits := uint(deltaSz * 8)
+	base := bdiReadBlock(line, baseSz)
+	for i := 0; i < n; i++ {
+		if b := bdiReadBlock(line[i*baseSz:], baseSz); !fitsSigned(b, deltaBits) {
+			base = b
+			break
+		}
+	}
+	for i := 0; i < n; i++ {
+		b := bdiReadBlock(line[i*baseSz:], baseSz)
+		if !fitsSigned(b-base, deltaBits) && !fitsSigned(b, deltaBits) {
+			return false
+		}
+	}
+	return true
+}
+
 // bdiCompress picks the smallest applicable encoding and returns it with
 // its payload (excluding the encoding-id header byte).
 func bdiCompress(line []byte) (bdiEncoding, []byte) {
@@ -124,11 +185,10 @@ func bdiCompress(line []byte) (bdiEncoding, []byte) {
 		return bdiRep8, payload
 	}
 	// Try encodings from smallest stored size to largest.
-	order := []bdiEncoding{bdiB2D1, bdiB4D1, bdiB8D1, bdiB4D2, bdiB8D2, bdiB8D4}
 	best := bdiRaw
 	bestSize := LineSize
 	var bestPayload []byte
-	for _, e := range order {
+	for _, e := range bdiTryOrder {
 		if payload, ok := bdiTryBaseDelta(line, e); ok {
 			if size := bdiEncodedSize(e); size < bestSize {
 				best, bestSize, bestPayload = e, size, payload
@@ -207,9 +267,18 @@ func bdiReadBlock(b []byte, size int) int64 {
 	case 8:
 		return int64(binary.LittleEndian.Uint64(b))
 	default:
-		//lint:allow panic-audit block size is one of the fixed BDI geometries; any other value is a codec bug
-		panic("compress: bad BDI block size")
+		badBDIBlockSize()
+		return 0
 	}
+}
+
+// badBDIBlockSize stays out of line (go:noinline) so bdiReadBlock can
+// inline into the //lint:hotpath fit checks with no escape of its own.
+//
+//go:noinline
+func badBDIBlockSize() {
+	//lint:allow panic-audit block size is one of the fixed BDI geometries; any other value is a codec bug
+	panic("compress: bad BDI block size")
 }
 
 // appendIntLE appends the low size bytes of v in little-endian order.

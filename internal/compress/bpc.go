@@ -79,11 +79,42 @@ func bpcUnplanes(base uint32, planes [bpcNumPlanes]uint64) [WordsPerLine]uint32 
 // Compress implements Codec.
 func (*BPC) Compress(line []byte) Encoded {
 	checkLine(line)
+	var w bitWriter
+	bpcEncodeLine(line, &w)
+	size := w.SizeBytes()
+	raw := false
+	if size >= LineSize {
+		size = LineSize
+		raw = true
+	}
+	return Encoded{Data: w.Bytes(), Size: size, Raw: raw}
+}
+
+// Measure implements Codec: the same encode core against a counting
+// writer, so the reported size is bit-exact with Compress.
+//
+//lint:hotpath
+func (*BPC) Measure(line []byte) Encoded {
+	checkLine(line)
+	w := bitWriter{countOnly: true}
+	bpcEncodeLine(line, &w)
+	size := w.SizeBytes()
+	raw := false
+	if size >= LineSize {
+		size = LineSize
+		raw = true
+	}
+	return Encoded{Size: size, Raw: raw}
+}
+
+// bpcEncodeLine is the shared encode core behind Compress and Measure.
+//
+//lint:hotpath
+func bpcEncodeLine(line []byte, w *bitWriter) {
 	words := words32(line)
 	base, dbp := bpcPlanes(words)
 
-	var w bitWriter
-	bpcEncodeBase(&w, base)
+	bpcEncodeBase(w, base)
 
 	// DBX planes, processed from the MSB plane downward so the decoder can
 	// chain DBP[k] = DBX[k] ^ DBP[k+1] with DBP[33] == 0.
@@ -127,14 +158,6 @@ func (*BPC) Compress(line []byte) Encoded {
 		}
 		k--
 	}
-
-	size := w.SizeBytes()
-	raw := false
-	if size >= LineSize {
-		size = LineSize
-		raw = true
-	}
-	return Encoded{Data: w.Bytes(), Size: size, Raw: raw}
 }
 
 // bpcTwoConsecOnes returns the bit position of the lower of exactly two

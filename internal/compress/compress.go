@@ -53,6 +53,14 @@ type Codec interface {
 	// returns the original LineSize bytes. It returns an error if the
 	// encoding is corrupt or was produced by an incompatible code book.
 	Decompress(enc Encoded) ([]byte, error)
+
+	// Measure returns what Compress would report for line — Size, Raw,
+	// and Generation — without materialising the encoded stream (Data is
+	// nil). The cache only ever stores sizes, so its fill path uses
+	// Measure and never pays the stream's allocations; paranoid mode
+	// cross-checks Measure against a full Compress on every fill.
+	// Implementations are //lint:hotpath: they must not heap-allocate.
+	Measure(line []byte) Encoded
 }
 
 // Encoded is a compressed cache line together with its accounting size.
@@ -98,8 +106,18 @@ func decodeFault(codec string) error {
 // internal components fed by the cache; a wrong size is a programming error.
 func checkLine(line []byte) {
 	if len(line) != LineSize {
-		panic(fmt.Sprintf("compress: line must be %d bytes, got %d", LineSize, len(line)))
+		badLineSize(len(line))
 	}
+}
+
+// badLineSize stays out of line (go:noinline) so checkLine can inline
+// into the //lint:hotpath Measure paths without dragging the panic's
+// fmt boxing into their escape-analysis range.
+//
+//go:noinline
+func badLineSize(n int) {
+	//lint:allow panic-audit a wrong line size is a cache-integration bug, not input; same contract as checkLine
+	panic(fmt.Sprintf("compress: line must be %d bytes, got %d", LineSize, n))
 }
 
 // words32 reinterprets a line as little-endian 32-bit words.
@@ -132,17 +150,23 @@ func isZeroLine(line []byte) bool {
 
 // bitWriter packs bits most-significant-first into a byte stream. The codecs
 // use it to produce the exact bit counts the hardware encodings would, while
-// still emitting a decodable software stream.
+// still emitting a decodable software stream. With countOnly set it only
+// tracks the bit count — the Measure fast path shares each codec's encode
+// core without ever touching a buffer.
 type bitWriter struct {
-	buf  []byte
-	nbit uint
+	buf       []byte
+	nbit      uint
+	countOnly bool
 }
 
 // WriteBits appends the low n bits of v (n <= 64), most significant first.
 func (w *bitWriter) WriteBits(v uint64, n uint) {
 	if n > 64 {
-		//lint:allow panic-audit bit-count is a compile-time codec constant; >64 is a codec bug, not input
-		panic("compress: WriteBits n > 64")
+		badBitCount()
+	}
+	if w.countOnly {
+		w.nbit += n
+		return
 	}
 	for i := int(n) - 1; i >= 0; i-- {
 		bit := (v >> uint(i)) & 1
@@ -154,6 +178,15 @@ func (w *bitWriter) WriteBits(v uint64, n uint) {
 		}
 		w.nbit++
 	}
+}
+
+// badBitCount stays out of line (go:noinline) so WriteBits can inline
+// into the //lint:hotpath encode cores with no escape of its own.
+//
+//go:noinline
+func badBitCount() {
+	//lint:allow panic-audit bit-count is a compile-time codec constant; >64 is a codec bug, not input
+	panic("compress: WriteBits n > 64")
 }
 
 // Bits returns the number of bits written so far.

@@ -42,6 +42,42 @@ func (*CPACK) Compress(line []byte) Encoded {
 		// one byte so the size stays nonzero for the sub-block math.
 		return Encoded{Data: []byte{0xFF}, Size: 1}
 	}
+	var w bitWriter
+	cpackEncode(line, &w)
+	size := w.SizeBytes() - 1 // marker byte is a software artifact
+	raw := false
+	if size >= LineSize {
+		size = LineSize
+		raw = true
+	}
+	return Encoded{Data: w.Bytes(), Size: size, Raw: raw}
+}
+
+// Measure implements Codec: the same encode core against a counting
+// writer, so the reported size is bit-exact with Compress.
+//
+//lint:hotpath
+func (*CPACK) Measure(line []byte) Encoded {
+	checkLine(line)
+	if isZeroLine(line) {
+		return Encoded{Size: 1}
+	}
+	w := bitWriter{countOnly: true}
+	cpackEncode(line, &w)
+	size := w.SizeBytes() - 1
+	raw := false
+	if size >= LineSize {
+		size = LineSize
+		raw = true
+	}
+	return Encoded{Size: size, Raw: raw}
+}
+
+// cpackEncode is the shared encode core behind Compress and Measure for
+// non-zero lines, including the software stream's marker byte.
+//
+//lint:hotpath
+func cpackEncode(line []byte, w *bitWriter) {
 	words := words32(line)
 	var dict [cpackDictSize]uint32
 	dictLen := 0
@@ -53,7 +89,6 @@ func (*CPACK) Compress(line []byte) Encoded {
 			dictLen++
 		}
 	}
-	var w bitWriter
 	w.WriteBits(0, 8) // non-zero-line marker byte for the software stream
 	for _, v := range words {
 		switch {
@@ -85,13 +120,6 @@ func (*CPACK) Compress(line []byte) Encoded {
 			push(v)
 		}
 	}
-	size := w.SizeBytes() - 1 // marker byte is a software artifact
-	raw := false
-	if size >= LineSize {
-		size = LineSize
-		raw = true
-	}
-	return Encoded{Data: w.Bytes(), Size: size, Raw: raw}
 }
 
 // cpackFind returns the index of the first dictionary entry equal to v

@@ -49,16 +49,56 @@ func fpcPayloadBits(p uint64) uint {
 	case fpcUncompr:
 		return 32
 	default:
-		//lint:allow panic-audit pattern tags are an exhaustive 3-bit enum written by this codec
-		panic("compress: bad FPC pattern")
+		badFPCPattern()
+		return 0
 	}
+}
+
+// badFPCPattern stays out of line (go:noinline) so fpcPayloadBits can
+// inline into the //lint:hotpath encode core with no escape of its own.
+//
+//go:noinline
+func badFPCPattern() {
+	//lint:allow panic-audit pattern tags are an exhaustive 3-bit enum written by this codec
+	panic("compress: bad FPC pattern")
 }
 
 // Compress implements Codec.
 func (*FPC) Compress(line []byte) Encoded {
 	checkLine(line)
-	words := words32(line)
 	var w bitWriter
+	fpcEncode(line, &w)
+	size := w.SizeBytes()
+	raw := false
+	if size >= LineSize {
+		size = LineSize
+		raw = true
+	}
+	return Encoded{Data: w.Bytes(), Size: size, Raw: raw}
+}
+
+// Measure implements Codec: the same encode core against a counting
+// writer, so the reported size is bit-exact with Compress.
+//
+//lint:hotpath
+func (*FPC) Measure(line []byte) Encoded {
+	checkLine(line)
+	w := bitWriter{countOnly: true}
+	fpcEncode(line, &w)
+	size := w.SizeBytes()
+	raw := false
+	if size >= LineSize {
+		size = LineSize
+		raw = true
+	}
+	return Encoded{Size: size, Raw: raw}
+}
+
+// fpcEncode is the shared encode core behind Compress and Measure.
+//
+//lint:hotpath
+func fpcEncode(line []byte, w *bitWriter) {
+	words := words32(line)
 	for i := 0; i < WordsPerLine; {
 		v := words[i]
 		if v == 0 {
@@ -76,13 +116,6 @@ func (*FPC) Compress(line []byte) Encoded {
 		w.WriteBits(payload, fpcPayloadBits(p))
 		i++
 	}
-	size := w.SizeBytes()
-	raw := false
-	if size >= LineSize {
-		size = LineSize
-		raw = true
-	}
-	return Encoded{Data: w.Bytes(), Size: size, Raw: raw}
 }
 
 // fpcMatch picks the best (smallest) pattern for a nonzero word.

@@ -101,6 +101,32 @@ func (s *SC) Compress(line []byte) Encoded {
 	return Encoded{Data: w.Bytes(), Size: size, Generation: s.generation}
 }
 
+// Measure implements Codec: code-length sums from the code book, no
+// bit stream. The rounding matches bitWriter.SizeBytes, so the result
+// is bit-exact with Compress under the same generation.
+//
+//lint:hotpath
+func (s *SC) Measure(line []byte) Encoded {
+	checkLine(line)
+	if s.table == nil {
+		return Encoded{Size: LineSize, Raw: true, Generation: s.generation}
+	}
+	words := words32(line)
+	var nbit uint
+	for _, v := range words {
+		if c, ok := s.table.codes[v]; ok {
+			nbit += c.len
+		} else {
+			nbit += s.table.escape.len + 32
+		}
+	}
+	size := (int(nbit) + 7) / 8
+	if size >= LineSize {
+		return Encoded{Size: LineSize, Raw: true, Generation: s.generation}
+	}
+	return Encoded{Size: size, Generation: s.generation}
+}
+
 // Decompress implements Codec. It fails if the line was encoded under a
 // different code-book generation — such lines must have been flushed.
 func (s *SC) Decompress(enc Encoded) ([]byte, error) {

@@ -35,7 +35,8 @@ import (
 var armed atomic.Bool
 
 var (
-	mu     sync.Mutex
+	mu sync.Mutex //lint:mutex nocalls
+	//lint:guards mu
 	points = map[string]int{} // point -> remaining shots (-1 = unbounded)
 )
 

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Escape gate: the hotpath-alloc rule's second layer. The driver
+// (cmd/lattelint -escape) runs
+//
+//	go build -gcflags=-m=2 <packages>
+//
+// from the module root and feeds the compiler's escape-analysis
+// diagnostics through ParseEscapes. EscapeReport then renders one
+// stanza per //lint:hotpath function — "clean" or the list of escape
+// messages attributed to its body — and the committed
+// internal/lint/testdata/escapes_baseline.txt pins the expected report.
+// Any drift (a new heap escape in an annotated function, a function
+// added or removed from the annotated set) fails CI with a line diff.
+//
+// The report deliberately omits line numbers: unrelated edits that move
+// a function within its file must not churn the baseline. Attribution
+// of a diagnostic to a function still uses exact file:line ranges
+// internally.
+//
+// Only "escapes to heap" and "moved to heap" diagnostics count.
+// "leaking param" lines describe how pointers flow through a function —
+// a property of the signature, not an allocation — and "does not
+// escape" lines are the proofs of cleanliness themselves.
+
+// EscapeDiag is one heap-escape diagnostic from the compiler.
+type EscapeDiag struct {
+	File string // slash path as printed by go build (module-root-relative)
+	Line int
+	Msg  string // diagnostic text without position or trailing colon
+}
+
+// escapeLineRE matches top-level -m diagnostics; indented flow-detail
+// lines from -m=2 deliberately do not match.
+var escapeLineRE = regexp.MustCompile(`^(\S+\.go):(\d+):(\d+): (.+)$`)
+
+// ParseEscapes extracts heap-escape diagnostics from `go build
+// -gcflags=-m=2` output.
+func ParseEscapes(r io.Reader) ([]EscapeDiag, error) {
+	var out []EscapeDiag
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := escapeLineRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := strings.TrimSuffix(m[4], ":")
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		line, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("lint: bad escape diagnostic line %q", sc.Text())
+		}
+		out = append(out, EscapeDiag{
+			File: strings.TrimPrefix(strings.ReplaceAll(m[1], "\\", "/"), "./"),
+			Line: line,
+			Msg:  msg,
+		})
+	}
+	return out, sc.Err()
+}
+
+// EscapeReport renders the gate's canonical report: one stanza per
+// annotated function, sorted, with each function's escape diagnostics
+// (deduplicated and sorted) indented below it.
+func EscapeReport(funcs []HotpathFunc, diags []EscapeDiag) string {
+	var b strings.Builder
+	b.WriteString("# lattelint escape baseline: go build -gcflags=-m=2 over //lint:hotpath functions.\n")
+	b.WriteString("# \"clean\" = zero heap escapes. Regenerate with: go run ./cmd/lattelint -escape -escape-update\n")
+	for _, fn := range funcs {
+		msgs := map[string]bool{}
+		for _, d := range diags {
+			if d.File == fn.File && d.Line >= fn.StartLine && d.Line <= fn.EndLine {
+				msgs[d.Msg] = true
+			}
+		}
+		if len(msgs) == 0 {
+			fmt.Fprintf(&b, "%s.%s: clean\n", fn.PkgPath, fn.Name)
+			continue
+		}
+		sorted := make([]string, 0, len(msgs))
+		for m := range msgs {
+			sorted = append(sorted, m)
+		}
+		sort.Strings(sorted)
+		fmt.Fprintf(&b, "%s.%s: %d escape(s)\n", fn.PkgPath, fn.Name, len(sorted))
+		for _, m := range sorted {
+			fmt.Fprintf(&b, "    %s\n", m)
+		}
+	}
+	return b.String()
+}
+
+// DiffReports compares the committed baseline against the current
+// report and returns a line-oriented diff ("" when identical). The diff
+// is an LCS-free two-pointer walk — report lines are ordered by the
+// same sort, so it stays readable.
+func DiffReports(baseline, current string) string {
+	if baseline == current {
+		return ""
+	}
+	oldLines := splitLines(baseline)
+	newLines := splitLines(current)
+	oldSet := map[string]int{}
+	for _, l := range oldLines {
+		oldSet[l]++
+	}
+	newSet := map[string]int{}
+	for _, l := range newLines {
+		newSet[l]++
+	}
+	var b strings.Builder
+	for _, l := range oldLines {
+		if newSet[l] > 0 {
+			newSet[l]--
+			continue
+		}
+		fmt.Fprintf(&b, "-%s\n", l)
+	}
+	for _, l := range newLines {
+		if oldSet[l] > 0 {
+			oldSet[l]--
+			continue
+		}
+		fmt.Fprintf(&b, "+%s\n", l)
+	}
+	return b.String()
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,7 +1,7 @@
 // Package lint is LATTE-CC's simulator-aware static-analysis pass. It
-// layers four project-specific rules on top of go vet's generic checks,
-// each encoding an invariant the cycle-level model depends on but the
-// compiler cannot enforce:
+// layers seven project-specific rules on top of go vet's generic
+// checks, each encoding an invariant the cycle-level model depends on
+// but the compiler cannot enforce:
 //
 //   - determinism: cycle-level packages must not read wall-clock time,
 //     draw from the shared math/rand source, or iterate Go maps (whose
@@ -16,6 +16,17 @@
 //   - stats-integrity: floating-point metric accumulation (+= on float
 //     fields) belongs in internal/stats (or internal/energy), not
 //     scattered through simulation code where summation order varies.
+//   - lock-contract: fields annotated //lint:guards mu may only be
+//     touched while mu is held; mutexes annotated //lint:mutex nocalls
+//     may not be held across any call; and the module-wide lock-order
+//     companion check (lock-order) rejects acquisition cycles and
+//     self-deadlocks.
+//   - goroutine-hygiene: every go statement in server/harness must have
+//     a bounded lifecycle, and context.CancelFuncs must not be dropped.
+//   - hotpath-alloc: //lint:hotpath functions must not contain
+//     allocating constructs; the escape gate (lattelint -escape) pins
+//     the compiler's -m=2 heap-escape output for them to a committed
+//     baseline.
 //
 // Findings are suppressed line-by-line with a justification comment:
 //
@@ -85,6 +96,21 @@ func Rules() []Rule {
 			Doc:   "float metric accumulation belongs in internal/stats",
 			Check: checkStatsIntegrity,
 		},
+		{
+			Name:  "lock-contract",
+			Doc:   "//lint:guards fields only touched under their mutex; //lint:mutex nocalls held across no calls",
+			Check: checkLockContract,
+		},
+		{
+			Name:  "goroutine-hygiene",
+			Doc:   "go statements in server/harness have bounded lifecycles; context cancels are not dropped",
+			Check: checkGoroutineHygiene,
+		},
+		{
+			Name:  "hotpath-alloc",
+			Doc:   "//lint:hotpath functions contain no allocating constructs",
+			Check: checkHotpathAlloc,
+		},
 	}
 }
 
@@ -119,8 +145,11 @@ var determinismOnlyPackages = map[string]bool{
 // //lint:allow comments, and returns the rest in file/line order.
 func Run(pkgs []*Package) []Finding {
 	var out []Finding
+	allow := allowSet{}
 	for _, p := range pkgs {
-		allow := collectAllows(p)
+		mergeAllows(allow, collectAllows(p))
+	}
+	for _, p := range pkgs {
 		for _, r := range Rules() {
 			for _, f := range r.Check(p) {
 				if allow.covers(f) {
@@ -129,6 +158,15 @@ func Run(pkgs []*Package) []Finding {
 				out = append(out, f)
 			}
 		}
+	}
+	// The lock-order analysis is module-wide (the harness/server call
+	// graph crosses package boundaries), so it runs over the whole
+	// package set rather than per package.
+	for _, f := range checkLockOrder(pkgs) {
+		if allow.covers(f) {
+			continue
+		}
+		out = append(out, f)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -145,6 +183,14 @@ func Run(pkgs []*Package) []Finding {
 
 // allowSet records, per file and line, which rules are suppressed.
 type allowSet map[string]map[int]map[string]bool
+
+// mergeAllows folds src into dst; filenames are globally unique, so
+// per-package allow sets merge without collisions.
+func mergeAllows(dst, src allowSet) {
+	for file, lines := range src {
+		dst[file] = lines
+	}
+}
 
 // covers reports whether a //lint:allow comment for the finding's rule
 // sits on the finding's line or the line directly above it.

@@ -1,0 +1,16 @@
+// Package escapefixture is the escape gate's deliberately regressed
+// input: Leak's buffer is stored in a package variable, so escape
+// analysis must heap-allocate it, and `lattelint -escape` over this
+// package must report the escape and fail against a clean baseline.
+// The package is under testdata so module-wide walks skip it; the gate
+// tests load it explicitly.
+package escapefixture
+
+// Sink keeps the allocation alive beyond the call.
+var Sink []byte
+
+//lint:hotpath
+func Leak(n int) {
+	buf := make([]byte, n) //lint:allow hotpath-alloc deliberate regression for the escape-gate test
+	Sink = buf
+}

@@ -1,0 +1,19 @@
+// Parse-only fixture for the goroutine-hygiene rule: the unresolved
+// context import means the lostcancel check runs on names alone, and
+// goroutine targets resolve through the package's declaration index.
+package fixture
+
+func work(stop chan struct{}) {
+	go func() { // bounded: receives from stop; no finding
+		<-stop
+	}()
+	go orphan() // want: no bounded lifecycle
+
+	ctx, cancel := context.WithCancel(nil) // want: cancel is never called
+	_ = ctx
+}
+
+func orphan() {
+	for {
+	}
+}

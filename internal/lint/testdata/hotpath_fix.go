@@ -1,0 +1,57 @@
+// Fixture for the hotpath-alloc rule: an annotated encoder that only
+// appends into caller-owned scratch (allowed), an annotated function
+// hitting every flagged construct, and a justified suppression.
+package fixture
+
+import "fmt"
+
+type codec struct {
+	scratch []byte
+}
+
+type entry struct{ n int }
+
+// encode is the idiomatic zero-steady-state-allocation shape; append
+// into the receiver's scratch is allowed. No findings.
+//
+//lint:hotpath
+func (c *codec) encode(line []byte) int {
+	n := 0
+	for _, b := range line {
+		if b != 0 {
+			n++
+		}
+	}
+	c.scratch = append(c.scratch[:0], line...)
+	return n
+}
+
+// bad hits every allocating construct the static rule flags.
+//
+//lint:hotpath
+func (c *codec) bad(line []byte) []byte {
+	buf := make([]byte, len(line)) // want: make()
+	copy(buf, line)
+	hdr := []byte{0xFF}                 // want: slice literal
+	_ = fmt.Sprintf("n=%d", len(line))  // want: fmt.Sprintf()
+	counts := map[int]int{len(line): 1} // want: map literal
+	_ = counts
+	e := &entry{n: len(line)} // want: &entry{...}
+	_ = e
+	return append(hdr, buf...)
+}
+
+// suppressed documents a one-time cold-path allocation.
+//
+//lint:hotpath
+func suppressed(line []byte) []byte {
+	//lint:allow hotpath-alloc cold-start table build, runs once per VFT rebuild
+	out := make([]byte, len(line))
+	copy(out, line)
+	return out
+}
+
+// unannotated functions allocate freely; no findings.
+func unannotated(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,11 @@
+// Parse-only fixture for the hotpath-alloc rule: with no type
+// information the rule matches make/new by name and the fmt family by
+// the selector's package identifier.
+package fixture
+
+//lint:hotpath
+func badMeasure(line []byte) string {
+	buf := make([]byte, 8) // want: make()
+	_ = buf
+	return fmt.Sprintf("%d", len(line)) // want: fmt.Sprintf()
+}

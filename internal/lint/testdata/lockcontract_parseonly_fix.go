@@ -1,0 +1,32 @@
+// Parse-only fixture for the lock-contract rule: no imports resolve
+// and no type information exists, so the checker falls back to
+// receiver-based resolution. Guarded-field access and nocalls findings
+// must still fire syntactically.
+package fixture
+
+type box struct {
+	mu sync.Mutex //lint:mutex nocalls
+	//lint:guards mu
+	val int
+}
+
+// good holds the lock across the read; no finding.
+func (b *box) good() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.val
+}
+
+// bad reads the guarded field without the lock.
+func (b *box) bad() int {
+	return b.val // want: b.val accessed without holding b.mu
+}
+
+// badCall calls a method while the nocalls mutex is held.
+func (b *box) badCall() {
+	b.mu.Lock()
+	b.frob() // want: call while holding b.mu
+	b.mu.Unlock()
+}
+
+func (b *box) frob() {}

@@ -1,0 +1,39 @@
+// Fixture for the module-wide lock-order analysis: two mutexes
+// acquired in opposite orders (one side through a callee, so the
+// transitive acquire-set matters) plus a re-acquisition through a call
+// while the same lock is held.
+package fixture
+
+import "sync"
+
+type g struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// ab establishes the order a -> b.
+func (x *g) ab() {
+	x.a.Lock()
+	defer x.a.Unlock()
+	x.b.Lock()
+	defer x.b.Unlock()
+}
+
+// ba establishes b -> a through lockA's acquire-set, closing the cycle.
+func (x *g) ba() {
+	x.b.Lock()
+	defer x.b.Unlock()
+	x.lockA() // want: lock acquisition order cycle
+}
+
+func (x *g) lockA() {
+	x.a.Lock()
+	x.a.Unlock()
+}
+
+// reenter holds a and calls a function that acquires a again.
+func (x *g) reenter() {
+	x.a.Lock()
+	defer x.a.Unlock()
+	x.lockA() // want: may self-deadlock
+}

@@ -47,14 +47,24 @@ type Job struct {
 	fp       uint64
 	deadline time.Duration
 
-	mu      sync.Mutex
-	state   jobState
-	errMsg  string
+	// mu guards every mutable field; it is never held across a call
+	// (machine-checked: lattelint lock-contract), which is what makes
+	// appendEvent's close-and-replace notify scheme deadlock-free.
+	mu sync.Mutex //lint:mutex nocalls
+	//lint:guards mu
+	state jobState
+	//lint:guards mu
+	errMsg string
+	//lint:guards mu
 	results []RunResult
-	events  []Event
-	fresh   map[runKey]freshInfo
+	//lint:guards mu
+	events []Event
+	//lint:guards mu
+	fresh map[runKey]freshInfo
+	//lint:guards mu
 	emitted map[runKey]bool
-	notify  chan struct{} // closed and replaced on every append
+	//lint:guards mu
+	notify chan struct{} // closed and replaced on every append
 }
 
 func newJob(id string, reqs []harness.RunRequest, suite *harness.Suite, fp uint64, deadline time.Duration) *Job {

@@ -27,7 +27,8 @@ type metrics struct {
 	rejectedDraining atomic.Uint64 // 503: shutdown in progress
 	rejectedInvalid  atomic.Uint64 // 400: malformed submission
 
-	mu   sync.Mutex
+	mu sync.Mutex //lint:mutex nocalls
+	//lint:guards mu
 	runs map[string]*histogram // per-workload latency of fresh simulations
 }
 
@@ -111,17 +112,28 @@ func (m *metrics) write(w io.Writer, snap metricsSnapshot) {
 	counter("latteccd_simulation_cache_hits_total",
 		"Run requests served from the result cache (Suite.CacheHits over all suites).", snap.cacheHits)
 
+	// Snapshot the histograms under mu, render outside: mu is nocalls,
+	// so holding it across Fprintf to a caller-supplied writer (an HTTP
+	// response — an arbitrarily slow network peer) is a contract
+	// violation lattelint rejects.
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	names := make([]string, 0, len(m.runs))
-	for name := range m.runs {
+	hists := make(map[string]histogram, len(m.runs))
+	for name, h := range m.runs {
 		names = append(names, name)
+		hists[name] = histogram{
+			counts: append([]uint64(nil), h.counts...),
+			sum:    h.sum,
+			count:  h.count,
+		}
 	}
+	m.mu.Unlock()
+
 	sort.Strings(names)
 	fmt.Fprintf(w, "# HELP latteccd_run_seconds Wall-clock latency of fresh simulations, per workload.\n")
 	fmt.Fprintf(w, "# TYPE latteccd_run_seconds histogram\n")
 	for _, name := range names {
-		h := m.runs[name]
+		h := hists[name]
 		cum := uint64(0)
 		for i, ub := range runBuckets {
 			cum += h.counts[i]
