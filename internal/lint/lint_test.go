@@ -270,6 +270,55 @@ func TestOracleDeterminismOnlyExemption(t *testing.T) {
 	}
 }
 
+// TestDeterminismConcurrency pins PR 7's split of the concurrency ban:
+// a sync import and a go statement are findings in every cycle-level
+// package EXCEPT internal/sim, whose epoch engine coordinates workers
+// behind a deterministic barrier; the wall-clock read in the same file
+// stays a finding even there. Above the boundary nothing fires.
+func TestDeterminismConcurrency(t *testing.T) {
+	p := loadFixture(t, "determinism_conc_fix.go", "lattecc/internal/cache", "")
+	got := ruleFindings(p, "determinism")
+	want := []string{
+		"import of sync",
+		"go statement",
+		"time.Now",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cache: want %d findings, got %d:\n%s", len(want), len(got), renderAll(got))
+	}
+	for i, frag := range want {
+		if !strings.Contains(got[i].Message, frag) {
+			t.Errorf("cache finding %d: want message containing %q, got %q", i, frag, got[i].Message)
+		}
+	}
+
+	p = loadFixture(t, "determinism_conc_fix.go", "lattecc/internal/sim", "")
+	got = ruleFindings(p, "determinism")
+	if len(got) != 1 || !strings.Contains(got[0].Message, "time.Now") {
+		t.Fatalf("sim: want exactly the wall-clock finding, got:\n%s", renderAll(got))
+	}
+
+	p = loadFixture(t, "determinism_conc_fix.go", "lattecc/internal/harness", "")
+	if got := ruleFindings(p, "determinism"); len(got) != 0 {
+		t.Fatalf("harness sits above the boundary, got:\n%s", renderAll(got))
+	}
+}
+
+// TestGoroutineHygieneCoversSim pins the companion rule change: sim is
+// now in goroutinePackages, so an unbounded goroutine there is a
+// goroutine-hygiene finding (the bounded one in the concurrency fixture
+// is not).
+func TestGoroutineHygieneCoversSim(t *testing.T) {
+	p := loadFixture(t, "determinism_conc_fix.go", "lattecc/internal/sim", "")
+	if got := ruleFindings(p, "goroutine-hygiene"); len(got) != 0 {
+		t.Fatalf("bounded goroutine must pass hygiene, got:\n%s", renderAll(got))
+	}
+	p = loadFixture(t, "goroutine_fix.go", "lattecc/internal/sim", "")
+	if got := ruleFindings(p, "goroutine-hygiene"); len(got) == 0 {
+		t.Fatal("goroutine fixture under internal/sim should now produce hygiene findings")
+	}
+}
+
 // TestDeterminismLegalInServer pins the other half of the boundary
 // contract: wall-clock reads, global rand, and map iteration — all
 // banned below the boundary — produce zero findings under the

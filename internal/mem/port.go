@@ -1,0 +1,94 @@
+package mem
+
+// This file is the memory-side half of the simulator's two-phase epoch
+// engine (DESIGN.md §12). During the parallel phase of a cycle, SMs may
+// not call System.Read/System.Write directly — the shared bank and
+// channel queues would be mutated in goroutine-scheduling order and the
+// run would stop being deterministic. Instead each SM owns a Port and
+// appends its transactions there; at the epoch barrier a single
+// goroutine drains every port through the Arbiter in (SM id, issue
+// order), which is exactly the order the old serial loop produced.
+
+// PortRequest is one L1-miss fetch or store transaction queued on an
+// SM's memory port during the parallel phase of a cycle epoch.
+type PortRequest struct {
+	// Addr is the byte address of the transaction.
+	Addr uint64
+	// Store marks an L2 write (stores bypass or write through L1).
+	Store bool
+	// FillAt is produced by the Arbiter for loads: the cycle the fill
+	// data arrives back at the L1. Zero until the port is drained, and
+	// meaningless for stores (the simulator never waits on them).
+	FillAt uint64
+}
+
+// Port is one SM's outbound memory queue for the current cycle epoch.
+// It is written by exactly one SM during the parallel phase and read by
+// the arbiter at the barrier, so it needs no locking; the buffer is
+// preallocated and reused so steady-state cycles allocate nothing.
+type Port struct {
+	reqs []PortRequest
+}
+
+// NewPort returns a port with capacity for n requests before the slice
+// has to grow. A good n is L1Ports (the most transactions an SM can
+// start per cycle).
+func NewPort(n int) *Port {
+	return &Port{reqs: make([]PortRequest, 0, n)}
+}
+
+// PushLoad queues a fetch and returns its index, which stays valid until
+// Reset and is how the SM finds the FillAt the arbiter wrote back.
+func (p *Port) PushLoad(addr uint64) int {
+	p.reqs = append(p.reqs, PortRequest{Addr: addr})
+	return len(p.reqs) - 1
+}
+
+// PushStore queues a store. Stores have no response time: System.Write's
+// return value was never consumed by SM code, so none is surfaced here.
+func (p *Port) PushStore(addr uint64) {
+	p.reqs = append(p.reqs, PortRequest{Addr: addr, Store: true})
+}
+
+// Len returns the number of queued requests.
+func (p *Port) Len() int { return len(p.reqs) }
+
+// FillAt returns the arbiter-assigned fill time of the load queued at
+// index i. Only valid after the epoch's Drain.
+func (p *Port) FillAt(i int) uint64 { return p.reqs[i].FillAt }
+
+// Reset empties the port, keeping its buffer for the next epoch.
+func (p *Port) Reset() { p.reqs = p.reqs[:0] }
+
+// Arbiter drains a fixed set of ports into a System in deterministic
+// order: ports in slice position order (SM id), requests within a port
+// in issue order. Because that is byte-for-byte the order in which the
+// old serial simulator called Read/Write, every queueing decision inside
+// System — bank nextFree times, LRU state, channel contention — and
+// therefore every counter and fill time is bit-identical regardless of
+// how many goroutines produced the ports.
+type Arbiter struct {
+	sys   *System
+	ports []*Port
+}
+
+// NewArbiter returns an arbiter over ports (position = SM id).
+func NewArbiter(sys *System, ports []*Port) *Arbiter {
+	return &Arbiter{sys: sys, ports: ports}
+}
+
+// Drain services every queued request against the System at cycle now,
+// writing fill times back into the load requests. It must be called from
+// exactly one goroutine, after the parallel phase has finished.
+func (a *Arbiter) Drain(now uint64) {
+	for _, p := range a.ports {
+		for i := range p.reqs {
+			r := &p.reqs[i]
+			if r.Store {
+				a.sys.Write(r.Addr, now)
+			} else {
+				r.FillAt = a.sys.Read(r.Addr, now)
+			}
+		}
+	}
+}

@@ -271,6 +271,11 @@ type ConfigOverrides struct {
 	WriteThroughL1  *bool   `json:"write_through_l1,omitempty"`
 	MaxInstructions *uint64 `json:"max_instructions,omitempty"`
 	MaxCycles       *uint64 `json:"max_cycles,omitempty"`
+	// SMJobs tunes intra-simulation parallelism only; results are
+	// bit-identical for any value, so it does NOT enter the suite
+	// fingerprint (a cached result computed at one width answers
+	// requests at any other).
+	SMJobs *int `json:"sm_jobs,omitempty"`
 }
 
 // apply copies cfg, overlays the present overrides, and validates them.
@@ -315,6 +320,12 @@ func (o *ConfigOverrides) apply(cfg sim.Config) (sim.Config, error) {
 	if o.WriteThroughL1 != nil {
 		cfg.WriteThroughL1 = *o.WriteThroughL1
 	}
+	if o.SMJobs != nil {
+		if *o.SMJobs < 0 {
+			return sim.Config{}, fmt.Errorf("config override sm_jobs must be >= 0, got %d", *o.SMJobs)
+		}
+		cfg.SMJobs = *o.SMJobs
+	}
 	if cfg.Cache.SizeBytes < cfg.Cache.LineSize*cfg.Cache.Ways {
 		return sim.Config{}, fmt.Errorf("config override l1_size_bytes %d is below one set (%d)",
 			cfg.Cache.SizeBytes, cfg.Cache.LineSize*cfg.Cache.Ways)
@@ -326,7 +337,9 @@ func (o *ConfigOverrides) apply(cfg sim.Config) (sim.Config, error) {
 // key, so every job that resolves to the same machine shares one
 // resident suite (and therefore one result cache). Codec wiring and
 // trace hooks are fixed for the daemon's lifetime and deliberately not
-// part of the key.
+// part of the key. SMJobs is likewise excluded: the epoch engine makes
+// results bit-identical across worker counts, so suites (and their
+// cached results) are shared across sm_jobs overrides.
 func fingerprint(cfg sim.Config) uint64 {
 	h := invariant.NewHash()
 	h.Int(int64(cfg.NumSMs))

@@ -517,6 +517,13 @@ func TestFingerprint(t *testing.T) {
 	if fingerprint(mut) == fingerprint(base) {
 		t.Error("changed L1 size must change the fingerprint")
 	}
+	// SMJobs only changes how fast a result is computed, never the
+	// result: suites must be shared across sm_jobs overrides.
+	mut = base
+	mut.SMJobs = 8
+	if fingerprint(mut) != fingerprint(base) {
+		t.Error("SMJobs must not key a new suite; results are worker-count-invariant")
+	}
 }
 
 // TestOverrideApply covers the validation corners of ConfigOverrides.
@@ -540,6 +547,13 @@ func TestOverrideApply(t *testing.T) {
 	tooSmall := base.Cache.LineSize // one line < one set
 	if _, err := (&ConfigOverrides{L1SizeBytes: &tooSmall}).apply(base); err == nil {
 		t.Error("sub-set l1_size_bytes must be rejected")
+	}
+	if _, err := (&ConfigOverrides{SMJobs: &bad}).apply(base); err == nil {
+		t.Error("negative sm_jobs must be rejected")
+	}
+	serialJobs := 0 // 0 is legal for sm_jobs (= serial), unlike the >= 1 fields
+	if got, err := (&ConfigOverrides{SMJobs: &serialJobs}).apply(base); err != nil || got.SMJobs != 0 {
+		t.Errorf("sm_jobs 0 must be accepted as serial, got %d err %v", got.SMJobs, err)
 	}
 
 	n := 4

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"lattecc/internal/trace"
+)
+
+// withRealParallelism raises GOMAXPROCS so effectiveSMJobs does not
+// clamp the pool to 1 on single-core runners — the whole point is to
+// exercise real cross-goroutine interleavings.
+func withRealParallelism(t *testing.T, procs int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(0)
+	if prev < procs {
+		runtime.GOMAXPROCS(procs)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	}
+}
+
+// parityWL is a multi-kernel test workload (testWorkload is single-kernel).
+type parityWL struct {
+	name    string
+	kernels []trace.Kernel
+}
+
+func (w parityWL) Name() string            { return w.name }
+func (parityWL) Category() trace.Category  { return trace.CSens }
+func (w parityWL) Kernels() []trace.Kernel { return w.kernels }
+func (parityWL) Data() trace.DataSource    { return testData{} }
+
+// parityWorkload is larger and more irregular than the other test
+// workloads: two kernels, mixed phases, stores, barriers, divergence,
+// and enough warps that SMs genuinely interleave through the LSU, the
+// MSHRs, and the shared L2 banks.
+func parityWorkload() trace.Workload {
+	kernelA := trace.Kernel{
+		Name:          "parity-a",
+		Blocks:        12,
+		WarpsPerBlock: 4,
+		Program: func(block, warp int) trace.Program {
+			insts := make([]trace.Inst, 0, 260)
+			base := uint64(block*4+warp) * 37
+			for i := 0; i < 60; i++ {
+				line := (base + uint64(i)*7) % 2048
+				insts = append(insts, trace.Inst{Op: trace.OpLoad, Addrs: []uint64{line * 128}})
+				insts = append(insts, trace.Inst{Op: trace.OpALU, Lat: uint32(1 + i%5)})
+				if i%9 == 0 {
+					insts = append(insts, trace.Inst{Op: trace.OpStore, Addrs: []uint64{(line + 4096) * 128}})
+				}
+				if i%20 == 19 {
+					insts = append(insts, trace.Inst{Op: trace.OpBarrier})
+				}
+			}
+			return trace.NewSliceProgram(insts)
+		},
+	}
+	kernelB := trace.Kernel{
+		Name:          "parity-b",
+		Blocks:        8,
+		WarpsPerBlock: 6,
+		Program: func(block, warp int) trace.Program {
+			insts := make([]trace.Inst, 0, 200)
+			seed := uint64(block*6 + warp)
+			for i := 0; i < 40; i++ {
+				// Divergent loads: up to 4 distinct lines per instruction.
+				n := 1 + int((seed+uint64(i))%4)
+				addrs := make([]uint64, 0, n)
+				for j := 0; j < n; j++ {
+					line := (seed*131 + uint64(i)*17 + uint64(j)*911) % 4096
+					addrs = append(addrs, line*128)
+				}
+				insts = append(insts, trace.Inst{Op: trace.OpLoad, Addrs: addrs})
+				insts = append(insts, trace.Inst{Op: trace.OpALU, Lat: 2})
+			}
+			return trace.NewSliceProgram(insts)
+		},
+	}
+	return parityWL{name: "parity", kernels: []trace.Kernel{kernelA, kernelB}}
+}
+
+// TestSMJobsParity is the tentpole's core contract: for every controller
+// flavour, StateHash(SMJobs=k) must equal StateHash(SMJobs=1) bit for
+// bit (ISSUE 7 acceptance criterion). The harness-level companion,
+// TestSMJobsParityAllPolicies, covers the full policy list on real
+// workloads; this one uses a structurally nasty synthetic workload and
+// also pins MSHR/LSU pressure. Runs under -race in CI, which doubles as
+// the data-race gate on the epoch engine.
+func TestSMJobsParity(t *testing.T) {
+	withRealParallelism(t, 4)
+
+	factories := map[string]ControllerFactory{
+		"baseline": baselineFactory,
+		"bdi":      bdiFactory,
+		"latte":    latteFactory,
+	}
+	for name, factory := range factories {
+		t.Run(name, func(t *testing.T) {
+			for _, tight := range []bool{false, true} {
+				cfg := smallConfig()
+				cfg.NumSMs = 4
+				cfg.SampleEvery = 64 // series must be jobs-invariant too
+				if tight {
+					cfg.MSHRs = 2
+					cfg.L1Ports = 1
+				}
+				hashes := map[int]uint64{}
+				for _, jobs := range []int{1, 2, cfg.NumSMs} {
+					c := cfg
+					c.SMJobs = jobs
+					res := New(c, parityWorkload(), factory).Run()
+					hashes[jobs] = res.StateHash()
+					if res.Instructions == 0 {
+						t.Fatalf("jobs=%d: empty run", jobs)
+					}
+				}
+				for _, jobs := range []int{2, cfg.NumSMs} {
+					if hashes[jobs] != hashes[1] {
+						t.Errorf("tight=%v: StateHash(SMJobs=%d)=%#x != StateHash(SMJobs=1)=%#x",
+							tight, jobs, hashes[jobs], hashes[1])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSMJobsClamp pins effectiveSMJobs' clamping rules.
+func TestSMJobsClamp(t *testing.T) {
+	withRealParallelism(t, 4)
+	cfg := DefaultConfig()
+	cfg.NumSMs = 3
+	cfg.SMJobs = 64
+	if got := cfg.effectiveSMJobs(); got != 3 {
+		t.Errorf("SMJobs=64, NumSMs=3: effective %d, want 3 (NumSMs clamp)", got)
+	}
+	cfg.SMJobs = 0
+	if got := cfg.effectiveSMJobs(); got != 1 {
+		t.Errorf("SMJobs=0: effective %d, want 1", got)
+	}
+	cfg.SMJobs = -1
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Validate should panic on negative SMJobs")
+			}
+		}()
+		cfg.Validate()
+	}()
+}
+
+// TestSMJobsPanicPropagates: a panic inside a worker (here the MaxCycles
+// guard cannot fire in phase A, so use a poisoned program) must surface
+// on the Run caller like in serial mode, for any jobs value.
+func TestSMJobsPanicPropagates(t *testing.T) {
+	withRealParallelism(t, 4)
+	poison := trace.Kernel{
+		Name:          "poison",
+		Blocks:        4,
+		WarpsPerBlock: 1,
+		Program: func(block, warp int) trace.Program {
+			n := 0
+			return trace.FuncProgram(func() (trace.Inst, bool) {
+				n++
+				if n > 3 && block == 2 {
+					//lint:allow panic-audit test fixture: deliberate worker-side panic
+					panic(fmt.Sprintf("poisoned program on block %d", block))
+				}
+				return trace.Inst{Op: trace.OpALU, Lat: 1}, true
+			})
+		},
+	}
+	w := parityWL{name: "poison", kernels: []trace.Kernel{poison}}
+	for _, jobs := range []int{1, 4} {
+		cfg := smallConfig()
+		cfg.NumSMs = 4
+		cfg.SMJobs = jobs
+		got := func() (r interface{}) {
+			defer func() { r = recover() }()
+			New(cfg, w, baselineFactory).Run()
+			return nil
+		}()
+		s, ok := got.(string)
+		if !ok || s != "poisoned program on block 2" {
+			t.Errorf("jobs=%d: recovered %v, want the poisoned-program panic", jobs, got)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// smPool runs the parallel phase (tickCompute) of each cycle epoch
+// across a set of persistent worker goroutines. Workers are started once
+// per Run and signalled per epoch over channels — not spawned per cycle —
+// so the steady-state cost of an epoch is two channel operations per
+// worker. SMs are partitioned statically round-robin; partition 0 is
+// executed by the coordinator (the goroutine calling epoch) so a pool of
+// k workers uses k-1 extra goroutines.
+//
+// Determinism: workers only touch SM-private state (see sm), so the
+// epoch result is independent of scheduling. A panic inside a worker is
+// trapped and re-raised on the coordinator; when several partitions
+// panic in the same epoch, the one from the lowest SM id wins, so even
+// failures are bit-reproducible across worker counts.
+type smPool struct {
+	parts [][]*sm       // parts[0] runs on the coordinator
+	start []chan uint64 // start[i] wakes worker i (i >= 1); closed to stop
+	done  chan struct{} // one token per finished worker epoch
+	wg    sync.WaitGroup
+
+	mu sync.Mutex //lint:mutex nocalls
+	//lint:guards mu
+	trap *smPanic
+}
+
+// smPanic is one trapped worker panic.
+type smPanic struct {
+	smID int
+	val  interface{}
+}
+
+// newSMPool partitions sms round-robin across jobs workers and starts
+// the jobs-1 non-coordinator goroutines.
+func newSMPool(sms []*sm, jobs int) *smPool {
+	p := &smPool{
+		parts: make([][]*sm, jobs),
+		start: make([]chan uint64, jobs),
+		done:  make(chan struct{}, jobs),
+	}
+	for i, m := range sms {
+		w := i % jobs
+		p.parts[w] = append(p.parts[w], m)
+	}
+	for w := 1; w < jobs; w++ {
+		p.start[w] = make(chan uint64, 1)
+		p.wg.Add(1)
+		go func(w int) {
+			defer p.wg.Done()
+			for now := range p.start[w] {
+				p.runPart(w, now)
+				p.done <- struct{}{}
+			}
+		}(w)
+	}
+	return p
+}
+
+// runPart ticks one partition, trapping any panic for deterministic
+// re-raise at the barrier.
+func (p *smPool) runPart(w int, now uint64) {
+	var cur *sm
+	defer func() {
+		if r := recover(); r != nil {
+			id := 0
+			if cur != nil {
+				id = cur.id
+			}
+			p.record(id, r)
+		}
+	}()
+	for _, m := range p.parts[w] {
+		cur = m
+		m.tickCompute(now)
+	}
+}
+
+// record publishes a trapped panic; the lowest SM id wins ties between
+// partitions so the surfaced failure is worker-count-invariant.
+func (p *smPool) record(smID int, val interface{}) {
+	p.mu.Lock()
+	if p.trap == nil || smID < p.trap.smID {
+		p.trap = &smPanic{smID: smID, val: val}
+	}
+	p.mu.Unlock()
+}
+
+// epoch runs phase A of one cycle: every SM's tickCompute, in parallel,
+// with a full barrier before returning. If any SM panicked, the panic is
+// re-raised here — on the coordinator — so callers (and the harness's
+// recover wrapper) see the same control flow as in serial mode.
+func (p *smPool) epoch(now uint64) {
+	for w := 1; w < len(p.parts); w++ {
+		p.start[w] <- now
+	}
+	p.runPart(0, now)
+	for w := 1; w < len(p.parts); w++ {
+		<-p.done
+	}
+	p.mu.Lock()
+	trap := p.trap
+	p.trap = nil
+	p.mu.Unlock()
+	if trap != nil {
+		//lint:allow panic-audit re-raising a trapped SM panic on the coordinator preserves the serial failure contract
+		panic(trap.val)
+	}
+}
+
+// close stops and joins the workers. Safe to call exactly once.
+func (p *smPool) close() {
+	for w := 1; w < len(p.parts); w++ {
+		close(p.start[w])
+	}
+	p.wg.Wait()
+}
+
+// effectiveSMJobs resolves Config.SMJobs to the worker count actually
+// used: never more workers than SMs, never more than GOMAXPROCS (extra
+// workers would only add barrier latency), and at least 1.
+func (c *Config) effectiveSMJobs() int {
+	jobs := c.SMJobs
+	if jobs > c.NumSMs {
+		jobs = c.NumSMs
+	}
+	if n := runtime.GOMAXPROCS(0); jobs > n {
+		jobs = n
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	return jobs
+}

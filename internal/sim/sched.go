@@ -20,35 +20,44 @@ type WarpCandidate struct {
 // oldest). RR (loose round-robin) takes the first ready candidate whose
 // id follows the last issued warp's, wrapping to the first ready one.
 func PickWarp(kind SchedulerKind, lastWarp int, cands []WarpCandidate) (int, bool) {
-	first := -1         // first ready candidate in scan order
-	last := -1          // ready candidate with id == lastWarp
-	nextAfterLast := -1 // first ready candidate in scan order with id > lastWarp
+	if kind == SchedRR {
+		first := -1         // first ready candidate in scan order
+		nextAfterLast := -1 // first ready candidate in scan order with id > lastWarp
+		for i := range cands {
+			if !cands[i].Ready {
+				continue
+			}
+			if first < 0 {
+				first = i
+			}
+			if nextAfterLast < 0 && cands[i].ID > lastWarp {
+				nextAfterLast = i
+			}
+		}
+		if first < 0 {
+			return -1, false
+		}
+		if nextAfterLast >= 0 {
+			return nextAfterLast, true
+		}
+		return first, true
+	}
+	// SchedGTO. Warp ids are unique, so the greedy hit can return as soon
+	// as it is found — later candidates cannot change the answer.
+	first := -1 // first ready candidate in scan order (the oldest)
 	for i := range cands {
 		if !cands[i].Ready {
 			continue
 		}
+		if cands[i].ID == lastWarp {
+			return i, true
+		}
 		if first < 0 {
 			first = i
-		}
-		if cands[i].ID == lastWarp {
-			last = i
-		}
-		if nextAfterLast < 0 && cands[i].ID > lastWarp {
-			nextAfterLast = i
 		}
 	}
 	if first < 0 {
 		return -1, false
-	}
-	switch kind {
-	case SchedRR:
-		if nextAfterLast >= 0 {
-			return nextAfterLast, true
-		}
-	default: // SchedGTO
-		if last >= 0 {
-			return last, true
-		}
 	}
 	return first, true
 }

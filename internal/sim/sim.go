@@ -146,6 +146,7 @@ func (r Result) StateHash() uint64 {
 type Sim struct {
 	cfg  Config
 	mem  *mem.System
+	arb  *mem.Arbiter
 	sms  []*sm
 	work trace.Workload
 }
@@ -159,16 +160,27 @@ func New(cfg Config, work trace.Workload, factory ControllerFactory) *Sim {
 	s := &Sim{cfg: cfg, mem: m, work: work}
 	numSets := cfg.Cache.SizeBytes / (cfg.Cache.LineSize * cfg.Cache.Ways)
 	data := work.Data()
+	ports := make([]*mem.Port, cfg.NumSMs)
 	for i := 0; i < cfg.NumSMs; i++ {
 		cacheCfg := cfg.Cache
 		cacheCfg.Codecs = cfg.freshCodecs()
 		ctrl := factory(numSets)
-		s.sms = append(s.sms, newSM(i, &s.cfg, ctrl, cacheCfg, m, data))
+		ports[i] = mem.NewPort(cfg.L1Ports)
+		s.sms = append(s.sms, newSM(i, &s.cfg, ctrl, cacheCfg, ports[i], data))
 	}
+	s.arb = mem.NewArbiter(m, ports)
 	return s
 }
 
 // Run executes every kernel of the workload and returns the result.
+//
+// Each cycle is a two-phase epoch (DESIGN.md §12). Phase A ticks every
+// SM against only its own state — in parallel across effectiveSMJobs
+// workers when Config.SMJobs > 1 — with memory traffic queued on per-SM
+// ports. Phase B, at the barrier, drains the ports through the arbiter
+// in (SM id, issue order) and commits each SM in id order; the budget,
+// sampling, dispatch, and liveness checks all run here, where every SM's
+// state is settled. The result is bit-identical for any worker count.
 func (s *Sim) Run() Result {
 	res := Result{
 		Workload: s.work.Name(),
@@ -177,6 +189,12 @@ func (s *Sim) Run() Result {
 	if s.cfg.SampleEvery > 0 {
 		res.ToleranceSeries = stats.NewSeries("tolerance", 4096)
 		res.CapacitySeries = stats.NewSeries("effective-capacity", 4096)
+	}
+
+	var pool *smPool
+	if jobs := s.cfg.effectiveSMJobs(); jobs > 1 {
+		pool = newSMPool(s.sms, jobs)
+		defer pool.close()
 	}
 
 	now := uint64(0)
@@ -217,10 +235,21 @@ func (s *Sim) Run() Result {
 		dispatch()
 
 		for {
+			// Phase A: parallel compute against SM-private state.
+			if pool != nil {
+				pool.epoch(now)
+			} else {
+				for _, m := range s.sms {
+					m.tickCompute(now)
+				}
+			}
+			// Phase B: serial merge at the barrier.
+			s.arb.Drain(now)
 			busy := false
 			var cycleInsts uint64
 			for _, m := range s.sms {
-				cycleInsts += m.tick(now)
+				m.commit(now)
+				cycleInsts += m.cycleInsts
 				if m.busy() {
 					busy = true
 				}
@@ -252,6 +281,19 @@ func (s *Sim) Run() Result {
 			if !busy {
 				break
 			}
+			// Fast-forward across provably idle cycles: when every SM's
+			// LSU is drained and nothing — fill arrival, warp wake-up,
+			// tolerance-window boundary, sample point, cycle guard — can
+			// happen before cycle `next`, the intervening cycles are
+			// no-ops in every SM, the arbiter (empty ports), and the
+			// dispatcher (block slots only free on a retire, which needs
+			// a ready warp). Jumping `now` there is therefore invisible
+			// to every counter, the trace stream, and StateHash; it only
+			// removes the empty scheduler scans that dominate memory-
+			// bound stall phases.
+			if next := s.nextInterestingCycle(now); next > now {
+				now = next
+			}
 		}
 
 		res.Kernels = append(res.Kernels, KernelResult{Name: k.Name, Cycles: now - start, Start: start})
@@ -267,23 +309,10 @@ func (s *Sim) Run() Result {
 	res.Instructions = totalInsts
 	res.Mem = s.mem.Stats()
 	for i, m := range s.sms {
-		cs := m.l1.Stats()
-		res.Cache.Accesses += cs.Accesses
-		res.Cache.Hits += cs.Hits
-		res.Cache.Misses += cs.Misses
-		res.Cache.CompressedHits += cs.CompressedHits
-		res.Cache.DecompWait += cs.DecompWait
-		res.Cache.DecompBusy += cs.DecompBusy
-		res.Cache.Evictions += cs.Evictions
-		res.Cache.Fills += cs.Fills
-		res.Cache.FlushedLines += cs.FlushedLines
-		res.Cache.UncompressedSize += cs.UncompressedSize
-		res.Cache.CompressedSize += cs.CompressedSize
-		for mo := range cs.InsertsByMode {
-			res.Cache.InsertsByMode[mo] += cs.InsertsByMode[mo]
-			res.Cache.HitsByMode[mo] += cs.HitsByMode[mo]
-			res.Cache.SubBlocksByMode[mo] += cs.SubBlocksByMode[mo]
-		}
+		// Stats.Add covers every field (reflection-checked in package
+		// cache), unlike the hand-rolled loop it replaced, which silently
+		// dropped fields added after it was written.
+		res.Cache.Add(m.l1.Stats())
 		res.LoadTxns += m.loadTxns
 		res.StoreTxns += m.storeTxns
 		res.MSHRStallCycles += m.stallMSHR
@@ -306,4 +335,36 @@ func (s *Sim) Run() Result {
 		}
 	}
 	return res
+}
+
+// nextInterestingCycle returns the earliest cycle > now at which any SM
+// can make progress, or now when the very next cycle already has work
+// queued. Besides the per-SM events (sm.nextEvent) it stops one cycle
+// short of a SampleEvery boundary and of MaxCycles: the series probe and
+// the deadlock guard both run between cycles, after `now` is advanced,
+// so the cycle just before each boundary must execute normally for those
+// checks to observe the same `now` a cycle-by-cycle run produces.
+func (s *Sim) nextInterestingCycle(now uint64) uint64 {
+	next := ^uint64(0)
+	for _, m := range s.sms {
+		e := m.nextEvent()
+		if e <= now {
+			return now
+		}
+		if e < next {
+			next = e
+		}
+	}
+	if s.cfg.SampleEvery > 0 {
+		if b := (now/s.cfg.SampleEvery+1)*s.cfg.SampleEvery - 1; b < next {
+			next = b
+		}
+	}
+	if s.cfg.MaxCycles > 0 && s.cfg.MaxCycles-1 < next {
+		next = s.cfg.MaxCycles - 1
+	}
+	if next <= now {
+		return now
+	}
+	return next
 }

@@ -1,12 +1,19 @@
 package sim
 
 import (
-	"container/heap"
-
 	"lattecc/internal/cache"
 	"lattecc/internal/mem"
 	"lattecc/internal/modes"
 	"lattecc/internal/trace"
+)
+
+// Warp blocking flags. The scheduler scan is the hottest loop in the
+// simulator, so the three blocking conditions share one byte next to
+// nextFree: readiness is a single flags==0 test plus a time compare.
+const (
+	wDone       uint8 = 1 << iota // retired
+	wBlockedMem                   // waiting for an in-flight memory request
+	wAtBarrier                    // waiting for the rest of its thread block
 )
 
 // warp is one resident warp's execution state.
@@ -17,27 +24,88 @@ type warp struct {
 	prog      trace.Program
 	cur       trace.Inst
 	hasCur    bool
-	done      bool
 
-	nextFree     uint64 // cycle at which the warp may issue again
-	blockedOnMem bool   // waiting for an in-flight memory request
-	atBarrier    bool   // waiting for the rest of its thread block
-	insts        uint64
+	nextFree uint64 // cycle at which the warp may issue again
+	flags    uint8  // wDone | wBlockedMem | wAtBarrier; 0 = schedulable
+	insts    uint64
 }
 
 // ready reports whether the warp can issue at cycle now.
 func (w *warp) ready(now uint64) bool {
-	return !w.done && !w.blockedOnMem && !w.atBarrier && w.nextFree <= now
+	return w.flags == 0 && w.nextFree <= now
 }
+
+// wake lowers scheduler si's sleep bound: one of its warps may become
+// ready at cycle `at`, so schedule must scan again no later than that.
+func (s *sm) wake(si int, at uint64) {
+	if at < s.scheds[si].nextWake {
+		s.scheds[si].nextWake = at
+	}
+}
+
+// activeInsert adds a newly schedulable warp (flags just cleared) to its
+// scheduler's active list, keeping warp-id order. Warp ids only grow, so
+// schedWarps is id-ordered and the active list mirrors that.
+func (s *sm) activeInsert(w *warp) {
+	ws := s.schedActive[w.sched]
+	lo, hi := 0, len(ws)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ws[mid].id < w.id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	ws = append(ws, nil)
+	copy(ws[lo+1:], ws[lo:])
+	ws[lo] = w
+	s.schedActive[w.sched] = ws
+}
+
+// activeRemove drops a warp that just blocked (or retired) from its
+// scheduler's active list. Tolerates absence: forceFinish retires warps
+// that are already blocked and therefore already off the list.
+func (s *sm) activeRemove(w *warp) {
+	ws := s.schedActive[w.sched]
+	lo, hi := 0, len(ws)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ws[mid].id < w.id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(ws) || ws[lo] != w {
+		return
+	}
+	copy(ws[lo:], ws[lo+1:])
+	ws[len(ws)-1] = nil
+	s.schedActive[w.sched] = ws[:len(ws)-1]
+}
+
+// memReqAddrCap bounds the inline address buffer: a warp has 32 threads,
+// so a memory instruction coalesces into at most 32 transactions.
+const memReqAddrCap = 32
 
 // memReq is a warp memory instruction draining through the LSU: its
 // remaining coalesced transactions and the latest data-ready time so far.
+// Requests are pooled per SM and their addresses copied into the inline
+// buffer at issue, so the LSU allocates nothing in steady state (and the
+// program generator may reuse its Addrs backing array, per the
+// trace.Program contract).
 type memReq struct {
 	w        *warp
-	addrs    []uint64
+	addrs    []uint64 // aliases buf except for >32-way requests
 	next     int
 	readyMax uint64
-	isStore  bool
+	// pending counts port loads issued on behalf of this request whose
+	// fill time the arbiter has not resolved yet. A fully drained request
+	// with pending > 0 parks on the deferred list until the epoch commit.
+	pending int
+	isStore bool
+	buf     [memReqAddrCap]uint64
 }
 
 // fillEvent is a pending L1 fill (miss response).
@@ -46,18 +114,78 @@ type fillEvent struct {
 	lineAddr uint64
 }
 
+// fillHeap is a binary min-heap on fillEvent.at with concrete push/pop
+// (container/heap's interface indirection boxed every event).
 type fillHeap []fillEvent
 
-func (h fillHeap) Len() int            { return len(h) }
-func (h fillHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h fillHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *fillHeap) Push(x interface{}) { *h = append(*h, x.(fillEvent)) }
-func (h *fillHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *fillHeap) push(ev fillEvent) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].at <= s[i].at {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+// pop removes and returns the earliest event. Ties on at are broken by
+// heap layout — deterministic, since the push sequence is.
+func (h *fillHeap) pop() fillEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && s[r].at < s[l].at {
+			c = r
+		}
+		if s[i].at <= s[c].at {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
+}
+
+// mshrEntry is one outstanding L1 miss. While the epoch's port is still
+// undrained the fill time is unknown and the entry is pending, pointing
+// at the pendingLoad that will resolve it at the barrier.
+type mshrEntry struct {
+	lineAddr uint64
+	fillAt   uint64 // valid once pending is false
+	pending  bool
+	pendIdx  int32 // index into sm.pend while pending
+}
+
+// pendingLoad tracks one port load issued this cycle: which port slot
+// holds its arbiter-assigned fill time, which MSHR it fills, and the LSU
+// requests waiting on it.
+type pendingLoad struct {
+	portIdx  int
+	mshrIdx  int
+	lineAddr uint64
+	waiters  []*memReq
+}
+
+// traceRec is one buffered L1 access record; the shared Config.Trace
+// recorder is only touched at the barrier, in SM order, so the emitted
+// stream is identical to the serial simulator's.
+type traceRec struct {
+	addr  uint64
+	write bool
 }
 
 // blockSlot tracks one resident thread block.
@@ -71,32 +199,72 @@ type blockSlot struct {
 type schedState struct {
 	lastWarp int // id of the last issued warp (-1 initially)
 
+	// nextWake is a lower bound on the next cycle any of this scheduler's
+	// warps can be ready. When a scan finds zero ready warps it records
+	// the earliest nextFree among unblocked warps here, and schedule
+	// skips the scan entirely until that cycle; every event that can make
+	// a warp ready sooner (fill unblock, barrier release, block launch)
+	// lowers the bound through sm.wake. Purely a cache of what the scan
+	// would conclude, so skipping changes no observable behavior — the
+	// skipped cycles contribute nothing to readySum either way.
+	nextWake uint64
+
 	// Equation 4 accumulators over the tolerance window.
 	readySum uint64 // sum over cycles of (ready warps - 1 issuing), clamped at 0
 	issues   uint64
 	switches uint64
 }
 
-// sm is one streaming multiprocessor.
+// sm is one streaming multiprocessor. During the parallel phase of a
+// cycle epoch an sm touches only its own state (plus read-only config
+// and the read-only data source): memory traffic goes to the per-SM
+// port, never to the shared mem.System.
 type sm struct {
 	id     int
 	cfg    *Config
 	l1     *cache.Cache
 	ctrl   modes.Controller
-	mem    *mem.System
+	port   *mem.Port
 	data   trace.DataSource
 	warps  []*warp
 	slots  []blockSlot
 	scheds []schedState
+	// schedWarps holds each scheduler's warps (same membership and order
+	// as the warps slice filtered by sched), so schedule scans only its
+	// own warps instead of skipping over every other scheduler's.
+	schedWarps [][]*warp
+	// schedActive is the schedulable subset of schedWarps (flags == 0),
+	// kept in warp-id order — the same order a filtered scan of
+	// schedWarps produces, so PickWarp sees identical candidates. It is
+	// maintained incrementally at block/unblock transitions (at most one
+	// warp blocks per scheduler per cycle), which turns the per-cycle
+	// scheduler scan from O(resident warps) into O(schedulable warps).
+	schedActive [][]*warp
+	liveWarps   int
 
-	// mshr maps lineAddr -> fill completion cycle. Determinism audit:
-	// the map is only ever used for keyed lookup, insert, delete, and
-	// len() — never iterated — so Go's randomized map order cannot leak
-	// into timing. Fill completions drain through the fills heap, which
-	// orders strictly by cycle.
-	lsu   []*memReq
-	mshr  map[uint64]uint64
+	// lsu is the in-order load/store queue; lsuHead indexes the current
+	// front so dequeuing doesn't reslice away buffer capacity.
+	lsu     []*memReq
+	lsuHead int
+	reqFree []*memReq // memReq pool
+
+	// mshr holds outstanding misses. A linear scan over at most
+	// Config.MSHRs (32) entries beats map hashing at this size, and a
+	// slice has no iteration-order hazard. Entries are only removed in
+	// applyFills, when no pendingLoad holds an index into the slice.
+	mshr  []mshrEntry
 	fills fillHeap
+
+	// pend / deferred are the epoch-barrier handoff: loads awaiting the
+	// arbiter's fill times and fully-drained requests whose warps unblock
+	// at commit. waiterPool recycles the waiter slices.
+	pend       []pendingLoad
+	deferred   []*memReq
+	waiterPool [][]*memReq
+
+	// cycleInsts is the instruction count of the last tickCompute,
+	// harvested by Run at the barrier.
+	cycleInsts uint64
 
 	hitSample uint64 // hit counter for VFT sampling
 
@@ -110,27 +278,88 @@ type sm struct {
 	storeTxns    uint64
 	stallMSHR    uint64
 
+	// lineFill + lineBuf render line data into a per-SM scratch buffer
+	// when the data source supports it (the cache never retains fill
+	// slices, so reuse is safe).
+	lineFill trace.LineFiller
+	lineBuf  []byte
+
+	// traceBuf defers Config.Trace records to the barrier.
+	traceBuf []traceRec
+
 	// per-cycle scheduler scratch, reused to keep schedule allocation-free
 	candScratch []WarpCandidate
-	warpScratch []*warp
+	pickScratch []*warp
 }
 
-func newSM(id int, cfg *Config, ctrl modes.Controller, cacheCfg cache.Config, m *mem.System, data trace.DataSource) *sm {
+func newSM(id int, cfg *Config, ctrl modes.Controller, cacheCfg cache.Config, port *mem.Port, data trace.DataSource) *sm {
 	s := &sm{
-		id:     id,
-		cfg:    cfg,
-		ctrl:   ctrl,
-		mem:    m,
-		data:   data,
-		l1:     cache.New(cacheCfg, ctrl),
-		slots:  make([]blockSlot, cfg.MaxBlocksPerSM),
-		scheds: make([]schedState, cfg.SchedulersPerSM),
-		mshr:   make(map[uint64]uint64),
+		id:          id,
+		cfg:         cfg,
+		ctrl:        ctrl,
+		port:        port,
+		data:        data,
+		l1:          cache.New(cacheCfg, ctrl),
+		slots:       make([]blockSlot, cfg.MaxBlocksPerSM),
+		scheds:      make([]schedState, cfg.SchedulersPerSM),
+		schedWarps:  make([][]*warp, cfg.SchedulersPerSM),
+		schedActive: make([][]*warp, cfg.SchedulersPerSM),
+		mshr:        make([]mshrEntry, 0, cfg.MSHRs),
 	}
 	for i := range s.scheds {
 		s.scheds[i].lastWarp = -1
 	}
+	if lf, ok := data.(trace.LineFiller); ok {
+		s.lineFill = lf
+		s.lineBuf = make([]byte, cfg.Cache.LineSize)
+	}
 	return s
+}
+
+// line returns the backing data of lineAddr, using the per-SM scratch
+// buffer when the source supports in-place rendering.
+func (s *sm) line(lineAddr uint64) []byte {
+	if s.lineFill != nil {
+		s.lineFill.LineInto(s.lineBuf, lineAddr)
+		return s.lineBuf
+	}
+	return s.data.Line(lineAddr)
+}
+
+// allocReq takes a request from the pool (fields zeroed by releaseReq).
+func (s *sm) allocReq() *memReq {
+	if n := len(s.reqFree); n > 0 {
+		r := s.reqFree[n-1]
+		s.reqFree = s.reqFree[:n-1]
+		return r
+	}
+	return new(memReq)
+}
+
+// releaseReq returns a finished request to the pool.
+func (s *sm) releaseReq(r *memReq) {
+	r.w = nil
+	r.addrs = nil
+	r.next = 0
+	r.readyMax = 0
+	r.pending = 0
+	r.isStore = false
+	s.reqFree = append(s.reqFree, r)
+}
+
+// newMemReq builds a pooled request, copying the instruction's addresses
+// out of the program's (reusable) backing array.
+func (s *sm) newMemReq(w *warp, addrs []uint64, store bool) *memReq {
+	r := s.allocReq()
+	r.w = w
+	r.isStore = store
+	if len(addrs) <= memReqAddrCap {
+		n := copy(r.buf[:], addrs)
+		r.addrs = r.buf[:n]
+	} else {
+		r.addrs = append([]uint64(nil), addrs...)
+	}
+	return r
 }
 
 // freeWarpSlots returns how many more warps the SM can host.
@@ -155,16 +384,20 @@ func (s *sm) launchBlock(k trace.Kernel, block int) bool {
 		return false
 	}
 	s.slots[slot] = blockSlot{active: true, remaining: k.WarpsPerBlock}
-	for wi := 0; wi < k.WarpsPerBlock; wi++ {
-		w := &warp{
-			id:        s.nextWarpID,
-			sched:     s.nextWarpID % s.cfg.SchedulersPerSM,
-			blockSlot: slot,
-			prog:      k.Program(block, wi),
-		}
+	ws := make([]warp, k.WarpsPerBlock)
+	for wi := range ws {
+		w := &ws[wi]
+		w.id = s.nextWarpID
+		w.sched = s.nextWarpID % s.cfg.SchedulersPerSM
+		w.blockSlot = slot
+		w.prog = k.Program(block, wi)
 		s.nextWarpID++
 		s.warps = append(s.warps, w)
+		s.schedWarps[w.sched] = append(s.schedWarps[w.sched], w)
+		s.activeInsert(w)
+		s.wake(w.sched, 0) // fresh warps are ready immediately
 	}
+	s.liveWarps += k.WarpsPerBlock
 	return true
 }
 
@@ -172,64 +405,169 @@ func (s *sm) launchBlock(k trace.Kernel, block int) bool {
 func (s *sm) compactWarps() {
 	live := s.warps[:0]
 	for _, w := range s.warps {
-		if !w.done {
+		if w.flags&wDone == 0 {
 			live = append(live, w)
 		}
 	}
+	for i := len(live); i < len(s.warps); i++ {
+		s.warps[i] = nil
+	}
 	s.warps = live
+	for si := range s.schedWarps {
+		lw := s.schedWarps[si][:0]
+		for _, w := range s.schedWarps[si] {
+			if w.flags&wDone == 0 {
+				lw = append(lw, w)
+			}
+		}
+		for i := len(lw); i < len(s.schedWarps[si]); i++ {
+			s.schedWarps[si][i] = nil
+		}
+		s.schedWarps[si] = lw
+	}
 }
 
 // busy reports whether the SM still has work (live warps or in-flight
-// memory activity).
+// memory activity). Only valid after commit, like every cross-SM read.
 func (s *sm) busy() bool {
-	if len(s.lsu) > 0 || len(s.fills) > 0 {
-		return true
-	}
-	for _, w := range s.warps {
-		if !w.done {
-			return true
-		}
-	}
-	return false
+	return s.liveWarps > 0 || len(s.lsu) > s.lsuHead || len(s.fills) > 0
 }
 
-// tick advances the SM by one cycle. It returns the number of
-// instructions issued this cycle.
-func (s *sm) tick(now uint64) uint64 {
+// nextEvent returns the earliest cycle at which this SM can do any work:
+// the next pending fill, the next cycle a schedulable warp becomes ready,
+// or the tolerance-window boundary (probeTolerance fires there and must
+// observe the same `now` as a cycle-by-cycle run). A queued LSU request
+// makes every cycle busy, so the method returns 0 in that case. Only
+// valid after commit, when pend/deferred/traceBuf are empty and every
+// blockedOnMem warp still has its request in the LSU queue — which is
+// what lets Sim.Run prove cycles up to the returned value are no-ops and
+// fast-forward across them without changing a single counter.
+func (s *sm) nextEvent() uint64 {
+	if s.lsuHead < len(s.lsu) {
+		return 0
+	}
+	next := s.windowStart + s.cfg.ToleranceWindow
+	if len(s.fills) > 0 && s.fills[0].at < next {
+		next = s.fills[0].at
+	}
+	for _, w := range s.warps {
+		if w.flags != 0 {
+			continue
+		}
+		if w.nextFree < next {
+			next = w.nextFree
+		}
+	}
+	return next
+}
+
+// tickCompute is the parallel half of one cycle: fills, LSU drain into
+// the port, and scheduling, all against SM-private state. The issued
+// instruction count lands in cycleInsts for the barrier to harvest.
+func (s *sm) tickCompute(now uint64) {
 	s.applyFills(now)
 	s.drainLSU(now)
-	issued := s.schedule(now)
+	s.cycleInsts = s.schedule(now)
+}
+
+// commit is the serial half of one cycle, run at the epoch barrier after
+// the arbiter has drained the ports: resolve this cycle's fill times,
+// unblock drained warps, fold the tolerance probe, and flush buffered
+// trace records. Commit runs in SM id order, which keeps the controller
+// call sequence and the trace stream identical to the serial simulator.
+func (s *sm) commit(now uint64) {
+	for i := range s.pend {
+		p := &s.pend[i]
+		fillAt := s.port.FillAt(p.portIdx)
+		e := &s.mshr[p.mshrIdx]
+		e.fillAt = fillAt
+		e.pending = false
+		s.fills.push(fillEvent{at: fillAt, lineAddr: p.lineAddr})
+		s.ctrl.RecordMissLatency(fillAt - now)
+		ready := fillAt + s.cfg.Cache.HitLatency
+		for _, req := range p.waiters {
+			if ready > req.readyMax {
+				req.readyMax = ready
+			}
+			req.pending--
+		}
+		s.waiterPool = append(s.waiterPool, p.waiters[:0])
+		p.waiters = nil
+	}
+	s.pend = s.pend[:0]
+	s.port.Reset()
+
+	for i, req := range s.deferred {
+		w := req.w
+		w.flags &^= wBlockedMem
+		w.nextFree = req.readyMax
+		if w.flags == 0 {
+			s.activeInsert(w)
+		}
+		s.wake(w.sched, req.readyMax)
+		s.releaseReq(req)
+		s.deferred[i] = nil
+	}
+	s.deferred = s.deferred[:0]
+
 	s.probeTolerance(now)
-	return issued
+
+	if len(s.traceBuf) > 0 {
+		for _, tr := range s.traceBuf {
+			s.cfg.Trace.Record(s.id, now, tr.addr, tr.write)
+		}
+		s.traceBuf = s.traceBuf[:0]
+	}
 }
 
 // applyFills installs miss responses whose data has arrived.
 func (s *sm) applyFills(now uint64) {
 	for len(s.fills) > 0 && s.fills[0].at <= now {
-		ev := heap.Pop(&s.fills).(fillEvent)
-		delete(s.mshr, ev.lineAddr)
+		ev := s.fills.pop()
+		s.mshrRemove(ev.lineAddr)
 		lineSize := uint64(s.cfg.Cache.LineSize)
-		s.l1.Fill(ev.lineAddr*lineSize, s.data.Line(ev.lineAddr), now)
+		s.l1.Fill(ev.lineAddr*lineSize, s.line(ev.lineAddr), now)
+	}
+}
+
+// mshrLookup returns the index of lineAddr's MSHR or -1.
+func (s *sm) mshrLookup(lineAddr uint64) int {
+	for i := range s.mshr {
+		if s.mshr[i].lineAddr == lineAddr {
+			return i
+		}
+	}
+	return -1
+}
+
+// mshrRemove frees lineAddr's MSHR (swap-remove; only called from
+// applyFills, when no pendingLoad holds MSHR indices).
+func (s *sm) mshrRemove(lineAddr uint64) {
+	if i := s.mshrLookup(lineAddr); i >= 0 {
+		n := len(s.mshr) - 1
+		s.mshr[i] = s.mshr[n]
+		s.mshr = s.mshr[:n]
 	}
 }
 
 // drainLSU processes up to L1Ports transactions from the LSU queue.
 func (s *sm) drainLSU(now uint64) {
 	budget := s.cfg.L1Ports
-	for budget > 0 && len(s.lsu) > 0 {
-		req := s.lsu[0]
+	for budget > 0 && s.lsuHead < len(s.lsu) {
+		req := s.lsu[s.lsuHead]
 		if req.isStore {
+			addr := req.addrs[req.next]
 			if s.cfg.Trace != nil {
-				s.cfg.Trace.Record(s.id, now, req.addrs[req.next], true)
+				s.traceBuf = append(s.traceBuf, traceRec{addr: addr, write: true})
 			}
 			if s.cfg.WriteThroughL1 {
 				// Write-through: a write hit updates (and expands) the
 				// cached copy before the store proceeds to L2.
-				s.l1.WriteTouch(req.addrs[req.next], now)
+				s.l1.WriteTouch(addr, now)
 			}
 			// Stores always go to L2 (write-avoid bypasses L1 entirely,
 			// Section IV-C3).
-			s.mem.Write(req.addrs[req.next], now)
+			s.port.PushStore(addr)
 			s.storeTxns++
 			req.next++
 		} else {
@@ -243,11 +581,29 @@ func (s *sm) drainLSU(now uint64) {
 		}
 		budget--
 		if req.next >= len(req.addrs) {
-			s.lsu = s.lsu[1:]
-			if !req.isStore {
+			s.lsu[s.lsuHead] = nil
+			s.lsuHead++
+			if s.lsuHead == len(s.lsu) {
+				s.lsu = s.lsu[:0]
+				s.lsuHead = 0
+			}
+			switch {
+			case req.isStore:
+				s.releaseReq(req)
+			case req.pending == 0:
+				// Every transaction hit or merged into an already-resolved
+				// fill: the ready time is final. It is always > now, so
+				// unblocking here vs at commit cannot change scheduling.
 				w := req.w
-				w.blockedOnMem = false
+				w.flags &^= wBlockedMem
 				w.nextFree = req.readyMax
+				if w.flags == 0 {
+					s.activeInsert(w)
+				}
+				s.wake(w.sched, req.readyMax)
+				s.releaseReq(req)
+			default:
+				s.deferred = append(s.deferred, req)
 			}
 		}
 	}
@@ -261,7 +617,7 @@ func (s *sm) loadTxn(req *memReq, now uint64) bool {
 	lineAddr := addr / lineSize
 
 	if s.cfg.Trace != nil {
-		s.cfg.Trace.Record(s.id, now, addr, false)
+		s.traceBuf = append(s.traceBuf, traceRec{addr: addr})
 	}
 	res := s.l1.Access(addr, now)
 	if res.Hit {
@@ -273,13 +629,22 @@ func (s *sm) loadTxn(req *memReq, now uint64) bool {
 		// phases would otherwise never refresh it.
 		s.hitSample++
 		if s.hitSample&0xF == 0 {
-			s.l1.TrainHighCap(s.data.Line(lineAddr))
+			s.l1.TrainHighCap(s.line(lineAddr))
 		}
 		return true
 	}
 	// Miss: merge into an in-flight fetch if one exists.
-	if fillAt, ok := s.mshr[lineAddr]; ok {
-		ready := fillAt + s.cfg.Cache.HitLatency
+	if mi := s.mshrLookup(lineAddr); mi >= 0 {
+		e := &s.mshr[mi]
+		if e.pending {
+			// Fill time unknown until the arbiter drains the port: join
+			// the waiter list, resolved at commit.
+			p := &s.pend[e.pendIdx]
+			p.waiters = append(p.waiters, req)
+			req.pending++
+			return true
+		}
+		ready := e.fillAt + s.cfg.Cache.HitLatency
 		if ready > req.readyMax {
 			req.readyMax = ready
 		}
@@ -288,14 +653,24 @@ func (s *sm) loadTxn(req *memReq, now uint64) bool {
 	if len(s.mshr) >= s.cfg.MSHRs {
 		return false
 	}
-	fillAt := s.mem.Read(addr, now)
-	s.mshr[lineAddr] = fillAt
-	heap.Push(&s.fills, fillEvent{at: fillAt, lineAddr: lineAddr})
-	s.ctrl.RecordMissLatency(fillAt - now)
-	ready := fillAt + s.cfg.Cache.HitLatency
-	if ready > req.readyMax {
-		req.readyMax = ready
+	portIdx := s.port.PushLoad(addr)
+	var waiters []*memReq
+	if n := len(s.waiterPool); n > 0 {
+		waiters = s.waiterPool[n-1]
+		s.waiterPool = s.waiterPool[:n-1]
 	}
+	s.pend = append(s.pend, pendingLoad{
+		portIdx:  portIdx,
+		mshrIdx:  len(s.mshr),
+		lineAddr: lineAddr,
+		waiters:  append(waiters, req),
+	})
+	s.mshr = append(s.mshr, mshrEntry{
+		lineAddr: lineAddr,
+		pending:  true,
+		pendIdx:  int32(len(s.pend) - 1),
+	})
+	req.pending++
 	return true
 }
 
@@ -307,31 +682,48 @@ func (s *sm) schedule(now uint64) uint64 {
 	var issued uint64
 	for si := range s.scheds {
 		st := &s.scheds[si]
-
+		if st.nextWake > now {
+			// Proven asleep: no warp of this scheduler can be ready
+			// before nextWake, so the scan below would find nothing.
+			continue
+		}
+		ws := s.schedActive[si]
+		if len(ws) == 0 {
+			continue
+		}
+		// PickWarp ignores non-ready candidates entirely (first/greedy/
+		// round-robin are all computed over the ready subsequence), so
+		// feeding it only the ready warps picks the same warp while
+		// skipping the per-cycle candidate writes for blocked ones —
+		// the common case in memory-bound phases. The active list holds
+		// exactly the flags==0 warps in id order, so only the nextFree
+		// time gate remains to check.
 		cands := s.candScratch[:0]
-		byCand := s.warpScratch[:0]
-		ready := 0
-		for _, w := range s.warps {
-			if w.sched != si {
-				continue
+		picks := s.pickScratch[:0]
+		wake := ^uint64(0)
+		for _, w := range ws {
+			if w.nextFree <= now {
+				cands = append(cands, WarpCandidate{ID: w.id, Ready: true})
+				picks = append(picks, w)
+			} else if w.nextFree < wake {
+				wake = w.nextFree
 			}
-			r := w.ready(now)
-			if r {
-				ready++
-			}
-			cands = append(cands, WarpCandidate{ID: w.id, Ready: r})
-			byCand = append(byCand, w)
 		}
-		s.candScratch, s.warpScratch = cands, byCand
+		s.candScratch = cands
+		s.pickScratch = picks
+		if len(cands) == 0 {
+			// Sleep until the earliest unblocked warp's nextFree; blocked
+			// warps wake the scheduler through sm.wake when they unblock.
+			st.nextWake = wake
+			continue
+		}
 		// Tolerance probe: ready warps on this scheduler.
-		if ready > 0 {
-			st.readySum += uint64(ready - 1)
-		}
+		st.readySum += uint64(len(cands) - 1)
 		idx, ok := PickWarp(s.cfg.Scheduler, st.lastWarp, cands)
 		if !ok {
 			continue
 		}
-		pick := byCand[idx]
+		pick := picks[idx]
 		if pick.id != st.lastWarp {
 			st.switches++
 			st.lastWarp = pick.id
@@ -372,12 +764,13 @@ func (s *sm) issue(w *warp, now uint64) bool {
 			w.nextFree = now + 1
 			return true
 		}
-		w.blockedOnMem = true
-		s.lsu = append(s.lsu, &memReq{w: w, addrs: inst.Addrs})
+		w.flags |= wBlockedMem
+		s.activeRemove(w)
+		s.lsu = append(s.lsu, s.newMemReq(w, inst.Addrs, false))
 	case trace.OpStore:
 		w.nextFree = now + 1
 		if len(inst.Addrs) > 0 {
-			s.lsu = append(s.lsu, &memReq{w: w, addrs: inst.Addrs, isStore: true})
+			s.lsu = append(s.lsu, s.newMemReq(w, inst.Addrs, true))
 		}
 	case trace.OpBarrier:
 		s.arriveBarrier(w, now)
@@ -391,7 +784,8 @@ func (s *sm) issue(w *warp, now uint64) bool {
 // whole block once every live warp has arrived.
 func (s *sm) arriveBarrier(w *warp, now uint64) {
 	slot := &s.slots[w.blockSlot]
-	w.atBarrier = true
+	w.flags |= wAtBarrier
+	s.activeRemove(w)
 	slot.atBarrier++
 	if slot.atBarrier < slot.remaining {
 		return
@@ -399,9 +793,13 @@ func (s *sm) arriveBarrier(w *warp, now uint64) {
 	// Last arrival: release everyone next cycle.
 	slot.atBarrier = 0
 	for _, o := range s.warps {
-		if !o.done && o.blockSlot == w.blockSlot && o.atBarrier {
-			o.atBarrier = false
+		if o.flags&(wDone|wAtBarrier) == wAtBarrier && o.blockSlot == w.blockSlot {
+			o.flags &^= wAtBarrier
 			o.nextFree = now + 1
+			if o.flags == 0 {
+				s.activeInsert(o)
+			}
+			s.wake(o.sched, now+1)
 		}
 	}
 }
@@ -409,10 +807,12 @@ func (s *sm) arriveBarrier(w *warp, now uint64) {
 // retire marks a warp finished and frees its block slot when the whole
 // block has drained.
 func (s *sm) retire(w *warp) {
-	if w.done {
+	if w.flags&wDone != 0 {
 		return
 	}
-	w.done = true
+	w.flags |= wDone
+	s.activeRemove(w)
+	s.liveWarps--
 	slot := &s.slots[w.blockSlot]
 	slot.remaining--
 	if slot.remaining == 0 {
@@ -425,22 +825,37 @@ func (s *sm) retire(w *warp) {
 	if slot.atBarrier > 0 && slot.atBarrier >= slot.remaining {
 		slot.atBarrier = 0
 		for _, o := range s.warps {
-			if !o.done && o.blockSlot == w.blockSlot && o.atBarrier {
-				o.atBarrier = false
+			if o.flags&(wDone|wAtBarrier) == wAtBarrier && o.blockSlot == w.blockSlot {
+				o.flags &^= wAtBarrier
 				o.nextFree = 0
+				if o.flags == 0 {
+					s.activeInsert(o)
+				}
+				s.wake(o.sched, 0)
 			}
 		}
 	}
 }
 
-// forceFinish terminates all warps (instruction budget exhausted).
+// forceFinish terminates all warps (instruction budget exhausted). Run
+// calls it at the barrier, after commit, so pend and deferred are empty.
 func (s *sm) forceFinish() {
-	for _, w := range s.warps {
-		if !w.done {
-			s.retire(w)
+	// retire may compact the warp lists when a block drains, so restart
+	// the scan after each retirement instead of ranging a stale header.
+	for s.liveWarps > 0 {
+		for _, w := range s.warps {
+			if w.flags&wDone == 0 {
+				s.retire(w)
+				break
+			}
 		}
 	}
-	s.lsu = nil
+	for i := s.lsuHead; i < len(s.lsu); i++ {
+		s.releaseReq(s.lsu[i])
+		s.lsu[i] = nil
+	}
+	s.lsu = s.lsu[:0]
+	s.lsuHead = 0
 }
 
 // probeTolerance folds the Equation 4 terms into the controller at window

@@ -45,6 +45,12 @@ type Inst struct {
 // Program yields a warp's instruction stream.
 type Program interface {
 	// Next returns the next instruction, or ok=false when the warp ends.
+	//
+	// The returned Inst.Addrs slice is only valid until the next call to
+	// Next on the same Program: generators may reuse one backing array to
+	// keep multi-million-instruction runs allocation-free. Consumers that
+	// hold a memory instruction across issue boundaries (the simulator's
+	// LSU does) must copy the addresses out.
 	Next() (inst Inst, ok bool)
 }
 
@@ -94,6 +100,16 @@ func (c Category) String() string {
 // must be deterministic for a given address.
 type DataSource interface {
 	Line(lineAddr uint64) []byte
+}
+
+// LineFiller is an optional DataSource extension: LineInto renders the
+// line into caller-owned storage instead of allocating a fresh slice per
+// call. The simulator probes for it and passes a per-SM scratch buffer,
+// which is safe because the cache copies (or measures) fill data without
+// retaining the slice. dst must be exactly one line long; the fill must
+// overwrite every byte (callers reuse dst across lines).
+type LineFiller interface {
+	LineInto(dst []byte, lineAddr uint64)
 }
 
 // Workload is a complete benchmark: its kernels and its data image.

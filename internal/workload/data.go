@@ -84,25 +84,39 @@ func NewData(regions []Region) *Data { return &Data{regions: regions} }
 
 // Line implements trace.DataSource.
 func (d *Data) Line(lineAddr uint64) []byte {
-	for _, r := range d.regions {
-		if r.contains(lineAddr) {
-			return genLine(r, lineAddr)
-		}
-	}
-	return make([]byte, LineSize)
+	b := make([]byte, LineSize)
+	d.LineInto(b, lineAddr)
+	return b
 }
 
-// genLine deterministically renders one line of a region.
-func genLine(r Region, lineAddr uint64) []byte {
-	b := make([]byte, LineSize)
+// LineInto implements trace.LineFiller: it renders the line into dst
+// (which must be LineSize bytes) so hot callers can reuse one buffer
+// instead of allocating per access.
+func (d *Data) LineInto(dst []byte, lineAddr uint64) {
+	for _, r := range d.regions {
+		if r.contains(lineAddr) {
+			genLine(dst, r, lineAddr)
+			return
+		}
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// genLine deterministically renders one line of a region into b,
+// overwriting all LineSize bytes.
+func genLine(b []byte, r Region, lineAddr uint64) {
 	h := splitmix64(r.Seed ^ lineAddr*0x9E3779B97F4A7C15)
 	switch r.Style {
 	case StyleZeroHeavy:
-		// ~25% of words are small non-zero values.
+		// ~25% of words are small non-zero values; the rest stay zero.
 		for i := 0; i < wordsPerLine; i++ {
 			v := splitmix64(h + uint64(i))
 			if v%4 == 0 {
 				binary.LittleEndian.PutUint32(b[i*4:], uint32(v>>32)&0xFF)
+			} else {
+				binary.LittleEndian.PutUint32(b[i*4:], 0)
 			}
 		}
 	case StyleSmallInt:
@@ -146,6 +160,11 @@ func genLine(r Region, lineAddr uint64) []byte {
 		for i := 0; i < wordsPerLine; i++ {
 			binary.LittleEndian.PutUint32(b[i*4:], uint32(splitmix64(h+uint64(i))))
 		}
+	default:
+		// Unknown style: deterministic zero line (b may be a reused buffer,
+		// so it must still be overwritten).
+		for i := range b {
+			b[i] = 0
+		}
 	}
-	return b
 }

@@ -58,6 +58,11 @@ type program struct {
 	iter       int
 	aluLeft    int
 	emittedMem bool
+
+	// addrScratch backs every memory Inst's Addrs slice, reused across
+	// Next calls per the trace.Program contract (the simulator copies
+	// addresses at issue).
+	addrScratch [32]uint64
 }
 
 // Next implements trace.Program.
@@ -137,7 +142,10 @@ func (p *program) memInst(ph *Phase) trace.Inst {
 	if div < 1 {
 		div = 1
 	}
-	addrs := make([]uint64, 0, div)
+	addrs := p.addrScratch[:0]
+	if div > len(p.addrScratch) {
+		addrs = make([]uint64, 0, div)
+	}
 	for j := 0; j < div; j++ {
 		off := lineOff
 		if j > 0 {

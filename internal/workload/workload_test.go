@@ -234,10 +234,18 @@ func TestSharedReuseGivesBlockmatesSameLines(t *testing.T) {
 // Compression-affinity tests: the value styles must land each codec in
 // the Figure 2 qualitative classes.
 
+// lineOf renders one region line into a fresh slice (test convenience
+// around the buffer-filling genLine).
+func lineOf(r Region, lineAddr uint64) []byte {
+	b := make([]byte, LineSize)
+	genLine(b, r, lineAddr)
+	return b
+}
+
 func ratioOf(c compress.Codec, r Region, nLines int) float64 {
 	var un, co float64
 	for i := 0; i < nLines; i++ {
-		enc := c.Compress(genLine(r, r.Start+uint64(i)))
+		enc := c.Compress(lineOf(r, r.Start+uint64(i)))
 		un += float64(compress.LineSize)
 		co += float64(enc.Size)
 	}
@@ -247,7 +255,7 @@ func ratioOf(c compress.Codec, r Region, nLines int) float64 {
 func trainedSC(r Region, nLines int) *compress.SC {
 	sc := compress.NewSC()
 	for i := 0; i < nLines; i++ {
-		sc.Train(genLine(r, r.Start+uint64(i)))
+		sc.Train(lineOf(r, r.Start+uint64(i)))
 	}
 	sc.Rebuild()
 	return sc
