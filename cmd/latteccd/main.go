@@ -28,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,6 +38,20 @@ import (
 	"lattecc/internal/server"
 	"lattecc/internal/sim"
 )
+
+// defaultAdvertise derives the URL a router on the same host can dial
+// this worker at from its -addr flag: ":8437" and "0.0.0.0:8437"
+// advertise the loopback address, explicit hosts advertise themselves.
+func defaultAdvertise(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://127.0.0.1" + addr // addr was ":port"-less junk; let the URL check reject it
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
 
 func main() {
 	var (
@@ -49,6 +64,9 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
 		quick    = flag.Bool("quick", false, "use a smaller GPU (2 SMs) for a fast smoke pass")
 		tiny     = flag.Bool("tiny", false, "use the CI golden-gate machine (2 SMs, 120k-instruction cap)")
+		join      = flag.String("join", "", "cluster router base URL to register with (e.g. http://127.0.0.1:8500)")
+		advertise = flag.String("advertise", "", "base URL the router should dial this worker at (default http://127.0.0.1:<addr port>)")
+		heartbeat = flag.Duration("heartbeat", 5*time.Second, "re-registration cadence while joined to a router")
 	)
 	flag.Parse()
 	if *workers < 1 {
@@ -91,6 +109,25 @@ func main() {
 	go func() { errCh <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "latteccd: serving on %s (workers=%d queue=%d)\n", *addr, *workers, *queue)
 
+	// Cluster membership: announce this worker to the router and keep
+	// heartbeating. The router that is not up yet is retried forever —
+	// worker and router start order is deliberately free.
+	var registrar *server.Registrar
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = defaultAdvertise(*addr)
+		}
+		var err error
+		registrar, err = server.StartRegistrar(*join, adv, *heartbeat, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "latteccd: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	select {
 	case err := <-errCh:
 		fmt.Fprintf(os.Stderr, "latteccd: %v\n", err)
@@ -101,6 +138,11 @@ func main() {
 	fmt.Fprintln(os.Stderr, "latteccd: draining...")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if registrar != nil {
+		// Deregister first so the router reroutes new jobs immediately
+		// instead of noticing the drain at its next health probe.
+		registrar.Stop(drainCtx)
+	}
 	drainErr := srv.Shutdown(drainCtx)
 	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "latteccd: http shutdown: %v\n", err)

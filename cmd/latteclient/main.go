@@ -1,0 +1,417 @@
+// Command latteclient is the CI-facing client for latteccd and
+// latteroute: a small, dependency-free replacement for the curl +
+// python3 JSON poking the daemon-smoke workflow used to inline. The
+// same binary drives a single worker and the cluster router — their
+// job APIs are wire-compatible by construction.
+//
+// Commands:
+//
+//	latteclient ready   -addr URL [-timeout 30s] [-min-workers N]
+//	    Poll /readyz until it answers 200 (and, against a router, until
+//	    at least -min-workers non-draining workers are registered).
+//
+//	latteclient submit  -addr URL (-runs W:P,... | -runs-from FILE)
+//	                    [-split] [-golden FILE] [-timeout 5m] [-interval 200ms]
+//	    Submit runs, poll to completion, and print one sorted
+//	    "hash <workload> <policy> - 0x<state-hash>" line per run —
+//	    byte-compatible with `experiments -hashes` output. -runs-from
+//	    reads runs out of such a file, so a golden hash file doubles as
+//	    the batch spec. -split submits one job per run instead of one
+//	    batch (spreads jobs across cluster workers). -golden asserts
+//	    every printed line appears in FILE and fails otherwise.
+//
+//	latteclient metrics -addr URL [-grep REGEXP]...
+//	    Fetch /metrics, print it, and fail unless every -grep pattern
+//	    matches at least one line.
+//
+// Exit status 0 on success, 1 on any failure (failed job, missing
+// golden line, timeout), 2 on usage errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "ready":
+		err = cmdReady(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "metrics":
+		err = cmdMetrics(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "latteclient: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "latteclient: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: latteclient {ready|submit|metrics} -addr URL [flags]")
+}
+
+// client is shared by every command: plain HTTP with a bounded
+// per-request timeout; loops provide their own deadlines.
+var client = &http.Client{Timeout: 15 * time.Second}
+
+// --- ready ------------------------------------------------------------
+
+func cmdReady(args []string) error {
+	fs := flag.NewFlagSet("ready", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8437", "daemon or router base URL")
+	timeout := fs.Duration("timeout", 30*time.Second, "give up after this long")
+	minWorkers := fs.Int("min-workers", 0, "additionally wait for this many non-draining registered workers (router only)")
+	_ = fs.Parse(args)
+
+	deadline := time.Now().Add(*timeout)
+	for {
+		if ok := probeReady(*addr, *minWorkers); ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s not ready after %v", *addr, *timeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func probeReady(addr string, minWorkers int) bool {
+	resp, err := client.Get(addr + "/readyz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	if minWorkers <= 0 {
+		return true
+	}
+	wresp, err := client.Get(addr + "/v1/workers")
+	if err != nil || wresp.StatusCode != http.StatusOK {
+		if wresp != nil {
+			wresp.Body.Close()
+		}
+		return false
+	}
+	defer wresp.Body.Close()
+	var body struct {
+		Workers []struct {
+			Draining bool `json:"draining"`
+		} `json:"workers"`
+	}
+	if err := json.NewDecoder(wresp.Body).Decode(&body); err != nil {
+		return false
+	}
+	n := 0
+	for _, w := range body.Workers {
+		if !w.Draining {
+			n++
+		}
+	}
+	return n >= minWorkers
+}
+
+// --- submit -----------------------------------------------------------
+
+// runSpec is one (workload, policy) pair; the zero variant is the only
+// one the hash-line format and the CI gates use.
+type runSpec struct {
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+}
+
+// jobStatus is the subset of the daemon's and router's job view the
+// client reads — the two are wire-compatible.
+type jobStatus struct {
+	ID      string `json:"id"`
+	Status  string `json:"status"`
+	Error   string `json:"error,omitempty"`
+	Results []struct {
+		Workload  string `json:"workload"`
+		Policy    string `json:"policy"`
+		StateHash string `json:"state_hash"`
+	} `json:"results,omitempty"`
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8437", "daemon or router base URL")
+	runsArg := fs.String("runs", "", "comma-separated WORKLOAD:POLICY pairs, e.g. SS:LATTE-CC,BO:Uncompressed")
+	runsFrom := fs.String("runs-from", "", "read runs from an `experiments -hashes` style file")
+	split := fs.Bool("split", false, "submit one job per run instead of one batch")
+	golden := fs.String("golden", "", "fail unless every emitted hash line appears in this file")
+	timeout := fs.Duration("timeout", 5*time.Minute, "overall completion deadline")
+	interval := fs.Duration("interval", 200*time.Millisecond, "status poll cadence")
+	_ = fs.Parse(args)
+
+	runs, err := parseRuns(*runsArg, *runsFrom)
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("no runs: give -runs or -runs-from")
+	}
+
+	deadline := time.Now().Add(*timeout)
+	batches := [][]runSpec{runs}
+	if *split {
+		batches = make([][]runSpec, 0, len(runs))
+		for _, r := range runs {
+			batches = append(batches, []runSpec{r})
+		}
+	}
+	ids := make([]string, 0, len(batches))
+	for _, b := range batches {
+		id, err := submitBatch(*addr, b, deadline)
+		if err != nil {
+			return err
+		}
+		ids = append(ids, id)
+	}
+	fmt.Fprintf(os.Stderr, "latteclient: submitted %d run(s) as %d job(s)\n", len(runs), len(ids))
+
+	lines, err := pollAll(*addr, ids, deadline, *interval)
+	if err != nil {
+		return err
+	}
+	if len(lines) != len(runs) {
+		return fmt.Errorf("want %d result lines, got %d", len(runs), len(lines))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if *golden != "" {
+		if err := checkGolden(lines, *golden); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "latteclient: all %d hash lines match %s\n", len(lines), *golden)
+	}
+	return nil
+}
+
+// parseRuns merges the -runs list and the -runs-from file.
+func parseRuns(runsArg, runsFrom string) ([]runSpec, error) {
+	var runs []runSpec
+	seen := map[runSpec]bool{}
+	add := func(r runSpec) {
+		if !seen[r] {
+			seen[r] = true
+			runs = append(runs, r)
+		}
+	}
+	if runsArg != "" {
+		for _, tok := range strings.Split(runsArg, ",") {
+			w, p, ok := strings.Cut(strings.TrimSpace(tok), ":")
+			if !ok || w == "" || p == "" {
+				return nil, fmt.Errorf("bad -runs entry %q (want WORKLOAD:POLICY)", tok)
+			}
+			add(runSpec{Workload: w, Policy: p})
+		}
+	}
+	if runsFrom != "" {
+		data, err := os.ReadFile(runsFrom)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			// "hash <workload> <policy> <variant-tag> 0x<state-hash>"
+			f := strings.Fields(line)
+			if len(f) != 5 || f[0] != "hash" {
+				return nil, fmt.Errorf("%s: unparseable hash line %q", runsFrom, line)
+			}
+			if f[3] != "-" {
+				return nil, fmt.Errorf("%s: run %s/%s has a non-zero variant %q; the job API submits zero variants only", runsFrom, f[1], f[2], f[3])
+			}
+			add(runSpec{Workload: f[1], Policy: f[2]})
+		}
+	}
+	return runs, nil
+}
+
+// submitBatch POSTs one job, retrying 429/503 answers (queue pressure,
+// a router between workers) until the deadline.
+func submitBatch(addr string, runs []runSpec, deadline time.Time) (string, error) {
+	body, err := json.Marshal(map[string]any{"runs": runs})
+	if err != nil {
+		return "", err
+	}
+	for {
+		resp, err := client.Post(addr+"/v1/runs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var ack struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(payload, &ack); err != nil || ack.ID == "" {
+				return "", fmt.Errorf("bad submit ack: %s", strings.TrimSpace(string(payload)))
+			}
+			return ack.ID, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if time.Now().After(deadline) {
+				return "", fmt.Errorf("submit still answers %d at deadline: %s", resp.StatusCode, strings.TrimSpace(string(payload)))
+			}
+			time.Sleep(500 * time.Millisecond)
+		default:
+			return "", fmt.Errorf("submit rejected with %d: %s", resp.StatusCode, strings.TrimSpace(string(payload)))
+		}
+	}
+}
+
+// pollAll sweeps the pending job set until every job is terminal,
+// collecting hash lines from done jobs and failing fast on a failed
+// one.
+func pollAll(addr string, ids []string, deadline time.Time, interval time.Duration) ([]string, error) {
+	pending := map[string]bool{}
+	for _, id := range ids {
+		pending[id] = true
+	}
+	var lines []string
+	for len(pending) > 0 {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("%d job(s) still pending at deadline", len(pending))
+		}
+		for _, id := range ids {
+			if !pending[id] {
+				continue
+			}
+			st, err := fetchStatus(addr, id)
+			if err != nil {
+				// Transient router/worker wobble; the deadline bounds it.
+				continue
+			}
+			switch st.Status {
+			case "done":
+				for _, r := range st.Results {
+					lines = append(lines, fmt.Sprintf("hash %s %s - %s", r.Workload, r.Policy, r.StateHash))
+				}
+				delete(pending, id)
+			case "failed":
+				return nil, fmt.Errorf("job %s failed: %s", id, st.Error)
+			}
+		}
+		if len(pending) > 0 {
+			time.Sleep(interval)
+		}
+	}
+	return lines, nil
+}
+
+func fetchStatus(addr, id string) (jobStatus, error) {
+	resp, err := client.Get(addr + "/v1/runs/" + id)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return jobStatus{}, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return jobStatus{}, err
+	}
+	return st, nil
+}
+
+// checkGolden asserts every line appears verbatim in the golden file.
+func checkGolden(lines []string, goldenPath string) error {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, l := range strings.Split(string(data), "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			want[l] = true
+		}
+	}
+	for _, l := range lines {
+		if !want[l] {
+			return fmt.Errorf("hash line not in golden set %s: %s", goldenPath, l)
+		}
+	}
+	return nil
+}
+
+// --- metrics ----------------------------------------------------------
+
+// grepList collects repeated -grep flags.
+type grepList []string
+
+func (g *grepList) String() string     { return strings.Join(*g, ", ") }
+func (g *grepList) Set(s string) error { *g = append(*g, s); return nil }
+
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8437", "daemon or router base URL")
+	var greps grepList
+	fs.Var(&greps, "grep", "regexp that must match at least one metrics line (repeatable)")
+	_ = fs.Parse(args)
+
+	resp, err := client.Get(*addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics answered %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(data)
+	lines := strings.Split(string(data), "\n")
+	for _, expr := range greps {
+		re, err := regexp.Compile(expr)
+		if err != nil {
+			return fmt.Errorf("bad -grep %q: %v", expr, err)
+		}
+		found := false
+		for _, l := range lines {
+			if re.MatchString(l) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("no metrics line matches %q", expr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package cluster turns latteccd into a fleet: a stateless router
+// (cmd/latteroute) fronts N workers, placing jobs by consistent-hashing
+// the machine-config fingerprint so each worker's resident Suite cache
+// stays hot, with pluggable routing policies, health-checked worker
+// registration, and retry-on-another-node for jobs lost to a worker
+// death.
+//
+// The determinism contract is what makes the cluster trivially correct:
+// every worker returns the bit-identical StateHash for the same
+// (workload, policy, variant, config), so replicas are perfectly
+// substitutable — a retried job cannot change its answer, only its
+// latency. The router therefore never coordinates workers; it only
+// places, watches, and (on loss) replaces.
+//
+// The package sits strictly above the determinism boundary: it may read
+// clocks and speak HTTP, and lattelint bans any cycle-level package
+// from importing it.
+package cluster
+
+import (
+	"sort"
+)
+
+// defaultReplicas is how many virtual points each worker contributes to
+// the ring. 64 keeps the expected load imbalance between workers under
+// a few percent while Add/Remove stay microsecond-cheap.
+const defaultReplicas = 64
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by
+// a worker.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring over worker IDs. Keys are machine-
+// config fingerprints; Lookup maps a key to the first worker clockwise
+// from the key's position, so adding or removing one of N workers moves
+// only ~1/N of the key space. Ring is not safe for concurrent use; the
+// Registry serialises access under its own lock.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by (hash, node)
+	nodes    map[string]bool
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// worker (<= 0 selects the default).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: map[string]bool{}}
+}
+
+// Len reports the number of distinct workers on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Has reports whether node is on the ring.
+func (r *Ring) Has(node string) bool { return r.nodes[node] }
+
+// Nodes returns the distinct workers on the ring, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Add places node's virtual points on the ring. Adding a node twice is
+// a no-op, so re-registration (a worker's heartbeat) is idempotent.
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: pointHash(node, i), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Remove deletes node's virtual points; keys it owned fall through to
+// their next clockwise worker, everything else keeps its assignment.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	keep := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			keep = append(keep, p)
+		}
+	}
+	r.points = keep
+}
+
+// Lookup maps key to its owning worker: the first point clockwise from
+// the key's ring position. ok is false on an empty ring.
+func (r *Ring) Lookup(key uint64) (string, bool) {
+	succ := r.walk(key, 1)
+	if len(succ) == 0 {
+		return "", false
+	}
+	return succ[0], true
+}
+
+// Successors returns every distinct worker in ring order starting from
+// key's position — the fail-over order for fingerprint-affinity
+// routing: index 0 is the owner, index 1 the worker the key falls to if
+// the owner is draining or dead, and so on.
+func (r *Ring) Successors(key uint64) []string {
+	return r.walk(key, len(r.nodes))
+}
+
+// walk collects up to max distinct workers clockwise from key.
+func (r *Ring) walk(key uint64, max int) []string {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	h := keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, max)
+	seen := make(map[string]bool, max)
+	for n := 0; n < len(r.points) && len(out) < max; n++ {
+		p := r.points[(start+n)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// FNV-1a, the same construction the invariant hasher uses: stable
+// across processes and Go versions, which is what makes assignments
+// reproducible in tests and across router restarts.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// pointHash spreads one (worker, replica) virtual node over the ring.
+func pointHash(node string, replica int) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= fnvPrime
+	}
+	h ^= uint64('#')
+	h *= fnvPrime
+	for s := 0; s < 64; s += 8 {
+		h ^= uint64(replica>>s) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}
+
+// keyHash re-mixes a fingerprint before the ring search; fingerprints
+// are already hashes, but mixing decorrelates them from the point
+// distribution.
+func keyHash(key uint64) uint64 {
+	h := uint64(fnvOffset)
+	for s := 0; s < 64; s += 8 {
+		h ^= (key >> s) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}

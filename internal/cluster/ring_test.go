@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys synthesises a deterministic population of fingerprint-like
+// keys: FNV-mixed so they spread over the ring the way real
+// machine-config fingerprints do.
+func ringKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = pointHash(fmt.Sprintf("key-%d", i), i)
+	}
+	return keys
+}
+
+func ringWith(nodes ...string) *Ring {
+	r := NewRing(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+// TestRingLookupDeterministic pins the core property everything else
+// leans on: the same ring maps the same key to the same worker, every
+// time, in any build.
+func TestRingLookupDeterministic(t *testing.T) {
+	a := ringWith("w1", "w2", "w3")
+	b := ringWith("w3", "w1", "w2") // insertion order must not matter
+	for _, k := range ringKeys(500) {
+		na, ok := a.Lookup(k)
+		if !ok {
+			t.Fatal("lookup failed on non-empty ring")
+		}
+		nb, _ := b.Lookup(k)
+		if na != nb {
+			t.Fatalf("key %#x: assignment depends on insertion order (%s vs %s)", k, na, nb)
+		}
+	}
+}
+
+// TestRingJoinMovesFewKeys is the consistent-hashing contract from the
+// issue: adding one worker to N steals only ~1/(N+1) of the key space,
+// and every moved key moves TO the new worker, never between old ones.
+func TestRingJoinMovesFewKeys(t *testing.T) {
+	const nKeys = 2000
+	keys := ringKeys(nKeys)
+	r := ringWith("w1", "w2", "w3", "w4")
+
+	before := make(map[uint64]string, nKeys)
+	for _, k := range keys {
+		before[k], _ = r.Lookup(k)
+	}
+
+	r.Add("w5")
+	moved := 0
+	for _, k := range keys {
+		now, _ := r.Lookup(k)
+		if now != before[k] {
+			moved++
+			if now != "w5" {
+				t.Fatalf("key %#x moved between old workers (%s -> %s) on join", k, before[k], now)
+			}
+		}
+	}
+	// Expect ~1/5 of keys to move; allow generous slack for hash
+	// variance but fail on a rebalance-the-world bug (>40%) or a
+	// nothing-moved bug (<5%).
+	if lo, hi := nKeys*5/100, nKeys*40/100; moved < lo || moved > hi {
+		t.Fatalf("join moved %d/%d keys, want roughly 1/5 (accepted %d..%d)", moved, nKeys, lo, hi)
+	}
+
+	// Removing the worker again restores the original assignment
+	// exactly: leave is the mirror image of join.
+	r.Remove("w5")
+	for _, k := range keys {
+		if now, _ := r.Lookup(k); now != before[k] {
+			t.Fatalf("key %#x did not return to %s after leave (got %s)", k, before[k], now)
+		}
+	}
+}
+
+// TestRingLeaveOnlyMovesOwnedKeys: removing a worker reassigns only the
+// keys it owned; everyone else's assignment is untouched.
+func TestRingLeaveOnlyMovesOwnedKeys(t *testing.T) {
+	keys := ringKeys(2000)
+	r := ringWith("w1", "w2", "w3", "w4")
+	before := make(map[uint64]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Lookup(k)
+	}
+	r.Remove("w2")
+	for _, k := range keys {
+		now, _ := r.Lookup(k)
+		if before[k] == "w2" {
+			if now == "w2" {
+				t.Fatalf("key %#x still assigned to removed worker", k)
+			}
+		} else if now != before[k] {
+			t.Fatalf("key %#x moved (%s -> %s) though its owner stayed", k, before[k], now)
+		}
+	}
+}
+
+// TestRingBalance: 64 virtual nodes per worker keep the load split
+// sane — no worker owns more than ~2x its fair share of a large key
+// population.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(4000)
+	nodes := []string{"w1", "w2", "w3", "w4"}
+	r := ringWith(nodes...)
+	counts := map[string]int{}
+	for _, k := range keys {
+		n, _ := r.Lookup(k)
+		counts[n]++
+	}
+	fair := len(keys) / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c > 2*fair || c < fair/4 {
+			t.Errorf("worker %s owns %d keys, fair share %d — virtual nodes not spreading", n, c, fair)
+		}
+	}
+}
+
+// TestRingSuccessorsOrder: Successors starts at the owner and lists
+// every distinct worker exactly once — the fail-over order for
+// affinity placement.
+func TestRingSuccessorsOrder(t *testing.T) {
+	r := ringWith("w1", "w2", "w3")
+	for _, k := range ringKeys(100) {
+		succ := r.Successors(k)
+		if len(succ) != 3 {
+			t.Fatalf("key %#x: %d successors, want 3", k, len(succ))
+		}
+		owner, _ := r.Lookup(k)
+		if succ[0] != owner {
+			t.Fatalf("key %#x: successors[0]=%s, owner=%s", k, succ[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("key %#x: worker %s listed twice", k, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestRingEdgeCases: empty ring, idempotent add/remove, single node.
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Lookup(42); ok {
+		t.Fatal("lookup on empty ring claimed success")
+	}
+	if s := r.Successors(42); len(s) != 0 {
+		t.Fatalf("empty ring has %d successors", len(s))
+	}
+
+	r.Add("w1")
+	r.Add("w1") // heartbeat re-registration must not duplicate points
+	if got := len(r.points); got != defaultReplicas {
+		t.Fatalf("double add produced %d points, want %d", got, defaultReplicas)
+	}
+	if n, ok := r.Lookup(7); !ok || n != "w1" {
+		t.Fatalf("single-node ring routed to %q", n)
+	}
+	r.Remove("nope") // removing an unknown node is a no-op
+	if r.Len() != 1 {
+		t.Fatalf("ring lost nodes removing a stranger: len=%d", r.Len())
+	}
+	r.Remove("w1")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("ring not empty after removing last node: len=%d points=%d", r.Len(), len(r.points))
+	}
+}

@@ -203,6 +203,7 @@ func TestDeterminismBoundaryImports(t *testing.T) {
 	got := checkDeterminism(p)
 	want := []string{
 		"net/http",
+		"lattecc/internal/cluster",
 		"lattecc/internal/harness",
 		"lattecc/internal/server",
 	}
@@ -237,6 +238,7 @@ func TestDeterminismBoundaryImports(t *testing.T) {
 func TestOracleDeterminismOnlyExemption(t *testing.T) {
 	wantBoundary := []string{
 		"net/http",
+		"lattecc/internal/cluster",
 		"lattecc/internal/harness",
 		"lattecc/internal/server",
 	}

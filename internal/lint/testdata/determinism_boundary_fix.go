@@ -8,6 +8,7 @@ package fixture
 import (
 	"net/http"
 
+	"lattecc/internal/cluster"
 	"lattecc/internal/harness"
 	"lattecc/internal/server"
 )
@@ -16,6 +17,7 @@ import (
 // a future type-checking loader.
 func touch() {
 	_ = http.MethodGet
+	_ = cluster.Config{}
 	_ = harness.RunRequest{}
 	_ = server.Config{}
 }

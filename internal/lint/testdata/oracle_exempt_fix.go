@@ -10,6 +10,7 @@ package fixture
 import (
 	_ "net/http"
 
+	_ "lattecc/internal/cluster"
 	_ "lattecc/internal/harness"
 	_ "lattecc/internal/server"
 )

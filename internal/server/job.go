@@ -45,6 +45,7 @@ type Job struct {
 	reqs     []harness.RunRequest
 	suite    *harness.Suite
 	fp       uint64
+	fpx      string // fp pre-rendered; immutable, so readable under mu without a call
 	deadline time.Duration
 
 	// mu guards every mutable field; it is never held across a call
@@ -73,6 +74,7 @@ func newJob(id string, reqs []harness.RunRequest, suite *harness.Suite, fp uint6
 		reqs:     reqs,
 		suite:    suite,
 		fp:       fp,
+		fpx:      fpHex(fp),
 		deadline: deadline,
 		state:    stateQueued,
 		fresh:    map[runKey]freshInfo{},
@@ -174,13 +176,18 @@ func (j *Job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return JobStatus{
-		ID:      j.id,
-		Status:  string(j.state),
-		Error:   j.errMsg,
-		Runs:    len(j.reqs),
-		Results: j.results,
+		ID:          j.id,
+		Status:      string(j.state),
+		Error:       j.errMsg,
+		Runs:        len(j.reqs),
+		Results:     j.results,
+		Fingerprint: j.fpx,
 	}
 }
+
+// fpHex renders a machine-config fingerprint the way StateHashes are
+// rendered: fixed-width hex, stable for text diffs.
+func fpHex(fp uint64) string { return fmt.Sprintf("0x%016x", fp) }
 
 // --- wire types -------------------------------------------------------
 
@@ -222,11 +229,25 @@ type SubmitRequest struct {
 	DeadlineMS int64            `json:"deadline_ms,omitempty"`
 }
 
-// SubmitResponse acknowledges an admitted job.
+// SubmitResponse acknowledges an admitted job. Fingerprint is the
+// machine-config fingerprint the job's suite is keyed on — the same key
+// the cluster router consistent-hashes for fingerprint-affinity
+// placement, exposed so routing decisions are auditable end to end.
 type SubmitResponse struct {
-	ID     string `json:"id"`
-	Status string `json:"status"`
-	Runs   int    `json:"runs"`
+	ID          string `json:"id"`
+	Status      string `json:"status"`
+	Runs        int    `json:"runs"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// LoadStatus is the GET /v1/load response: the admission-queue and
+// worker-pool occupancy the cluster router's health checker polls, and
+// the least-loaded routing policy weighs.
+type LoadStatus struct {
+	Queued        int64 `json:"queued"`
+	Running       int64 `json:"running"`
+	QueueCapacity int64 `json:"queue_capacity"`
+	Draining      bool  `json:"draining"`
 }
 
 // RunResult is one completed run in a job's result set.
@@ -249,13 +270,16 @@ type RunResult struct {
 	DurationMS float64 `json:"duration_ms"`
 }
 
-// JobStatus renders a job's externally visible state.
+// JobStatus renders a job's externally visible state. Fingerprint lets
+// the cluster router verify that a worker's resident suite matches the
+// affinity key it routed on.
 type JobStatus struct {
-	ID      string      `json:"id"`
-	Status  string      `json:"status"`
-	Error   string      `json:"error,omitempty"`
-	Runs    int         `json:"runs"`
-	Results []RunResult `json:"results,omitempty"`
+	ID          string      `json:"id"`
+	Status      string      `json:"status"`
+	Error       string      `json:"error,omitempty"`
+	Runs        int         `json:"runs"`
+	Results     []RunResult `json:"results,omitempty"`
+	Fingerprint string      `json:"fingerprint,omitempty"`
 }
 
 // ConfigOverrides is the subset of sim.Config a request may change.
@@ -278,8 +302,11 @@ type ConfigOverrides struct {
 	SMJobs *int `json:"sm_jobs,omitempty"`
 }
 
-// apply copies cfg, overlays the present overrides, and validates them.
-func (o *ConfigOverrides) apply(cfg sim.Config) (sim.Config, error) {
+// Apply copies cfg, overlays the present overrides, and validates them.
+// Exported for the cluster router, which applies a submission's
+// overrides to its own base config to compute the affinity fingerprint
+// without owning a suite.
+func (o *ConfigOverrides) Apply(cfg sim.Config) (sim.Config, error) {
 	if o == nil {
 		return cfg, nil
 	}
@@ -340,6 +367,12 @@ func (o *ConfigOverrides) apply(cfg sim.Config) (sim.Config, error) {
 // part of the key. SMJobs is likewise excluded: the epoch engine makes
 // results bit-identical across worker counts, so suites (and their
 // cached results) are shared across sm_jobs overrides.
+// FingerprintConfig exposes the fingerprint to the cluster router: the
+// router hashes the same key the worker will file the job's suite
+// under, which is what makes fingerprint-affinity routing line up with
+// worker-side cache residency.
+func FingerprintConfig(cfg sim.Config) uint64 { return fingerprint(cfg) }
+
 func fingerprint(cfg sim.Config) uint64 {
 	h := invariant.NewHash()
 	h.Int(int64(cfg.NumSMs))

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// Registrar keeps one worker registered with a cluster router
+// (cmd/latteroute): it POSTs the worker's advertised URL to the
+// router's /v1/workers endpoint at a fixed cadence, which doubles as
+// the join (the first POST) and the heartbeat (every later one —
+// registration is idempotent router-side, and a worker the router
+// evicted as dead re-joins on its next beat). Stop deregisters so the
+// router stops routing to a drained worker immediately instead of
+// discovering the drain at its next health probe.
+//
+// The registrar never gives up: a router that is down when the worker
+// starts (or restarts mid-flight) is simply retried next interval. The
+// worker is fully functional unregistered — clusterless operation is
+// the degenerate case of a fleet of one.
+type Registrar struct {
+	router    string // router base URL, e.g. http://127.0.0.1:8500
+	advertise string // this worker's base URL as the router should dial it
+	interval  time.Duration
+	logf      func(format string, args ...any)
+	client    *http.Client
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// StartRegistrar validates the two URLs, announces the worker once
+// immediately, and starts the heartbeat loop. interval <= 0 selects 5s.
+func StartRegistrar(router, advertise string, interval time.Duration, logf func(format string, args ...any)) (*Registrar, error) {
+	for name, raw := range map[string]string{"router": router, "advertise": advertise} {
+		u, err := url.Parse(raw)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("server: %s URL must be absolute http(s), got %q", name, raw)
+		}
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	r := &Registrar{
+		router:    router,
+		advertise: advertise,
+		interval:  interval,
+		logf:      logf,
+		client:    &http.Client{Timeout: 5 * time.Second},
+		stop:      make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.run()
+	return r, nil
+}
+
+// run is the heartbeat loop.
+func (r *Registrar) run() {
+	defer r.wg.Done()
+	registered := false
+	beat := func() {
+		if err := r.register(); err != nil {
+			if registered {
+				r.logf("latteccd: cluster heartbeat to %s failed: %v", r.router, err)
+			}
+			registered = false
+			return
+		}
+		if !registered {
+			r.logf("latteccd: registered with router %s as %s", r.router, r.advertise)
+		}
+		registered = true
+	}
+	beat()
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			beat()
+		}
+	}
+}
+
+// register performs one announcement round-trip.
+func (r *Registrar) register() error {
+	body, err := json.Marshal(map[string]string{"url": r.advertise})
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Post(r.router+"/v1/workers", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("router answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Stop halts the heartbeat and deregisters from the router (bounded by
+// ctx) so drain starts router-side immediately. Safe to call more than
+// once.
+func (r *Registrar) Stop(ctx context.Context) {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		r.router+"/v1/workers?url="+url.QueryEscape(r.advertise), nil)
+	if err != nil {
+		return
+	}
+	if resp, err := r.client.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}

@@ -73,6 +73,7 @@ type Server struct {
 
 	queue    chan *Job
 	drainCh  chan struct{}
+	running  atomic.Int64
 	draining atomic.Bool
 	admit    sync.RWMutex // write-held by Shutdown to fence admission
 	nextID   atomic.Uint64
@@ -116,6 +117,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/load", s.handleLoad)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -190,6 +192,8 @@ func (s *Server) worker() {
 // batch through the harness pool under the job's deadline, then collect
 // results serially from the cache.
 func (s *Server) execute(j *Job) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
 	if h := s.cfg.startHook; h != nil {
 		h(j)
 	}
@@ -389,7 +393,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 
-	cfg, err := req.Config.apply(s.cfg.BaseConfig)
+	cfg, err := req.Config.Apply(s.cfg.BaseConfig)
 	if err != nil {
 		s.metrics.rejectedInvalid.Add(1)
 		writeJSONError(w, http.StatusBadRequest, err.Error())
@@ -429,7 +433,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.jobsAccepted.Add(1)
 	w.WriteHeader(http.StatusAccepted)
-	writeJSON(w, SubmitResponse{ID: id, Status: string(stateQueued), Runs: len(reqs)})
+	writeJSON(w, SubmitResponse{ID: id, Status: string(stateQueued), Runs: len(reqs), Fingerprint: fpHex(fp)})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -480,6 +484,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleLoad answers the cluster router's health/load probe: how much
+// work this worker holds and whether it is draining. Cheap by design —
+// the router polls it once per health interval per worker.
+func (s *Server) handleLoad(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, LoadStatus{
+		Queued:        int64(len(s.queue)),
+		Running:       s.running.Load(),
+		QueueCapacity: int64(cap(s.queue)),
+		Draining:      s.draining.Load(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -531,33 +531,33 @@ func TestOverrideApply(t *testing.T) {
 	base := tinyConfig()
 
 	var nilOv *ConfigOverrides
-	got, err := nilOv.apply(base)
+	got, err := nilOv.Apply(base)
 	if err != nil || got != base {
 		t.Fatalf("nil overrides must be identity, got err %v", err)
 	}
 
 	bad := -1
-	if _, err := (&ConfigOverrides{L1Ports: &bad}).apply(base); err == nil {
+	if _, err := (&ConfigOverrides{L1Ports: &bad}).Apply(base); err == nil {
 		t.Error("negative l1_ports must be rejected")
 	}
 	var zero uint64
-	if _, err := (&ConfigOverrides{MaxInstructions: &zero}).apply(base); err == nil {
+	if _, err := (&ConfigOverrides{MaxInstructions: &zero}).Apply(base); err == nil {
 		t.Error("zero max_instructions must be rejected")
 	}
 	tooSmall := base.Cache.LineSize // one line < one set
-	if _, err := (&ConfigOverrides{L1SizeBytes: &tooSmall}).apply(base); err == nil {
+	if _, err := (&ConfigOverrides{L1SizeBytes: &tooSmall}).Apply(base); err == nil {
 		t.Error("sub-set l1_size_bytes must be rejected")
 	}
-	if _, err := (&ConfigOverrides{SMJobs: &bad}).apply(base); err == nil {
+	if _, err := (&ConfigOverrides{SMJobs: &bad}).Apply(base); err == nil {
 		t.Error("negative sm_jobs must be rejected")
 	}
 	serialJobs := 0 // 0 is legal for sm_jobs (= serial), unlike the >= 1 fields
-	if got, err := (&ConfigOverrides{SMJobs: &serialJobs}).apply(base); err != nil || got.SMJobs != 0 {
+	if got, err := (&ConfigOverrides{SMJobs: &serialJobs}).Apply(base); err != nil || got.SMJobs != 0 {
 		t.Errorf("sm_jobs 0 must be accepted as serial, got %d err %v", got.SMJobs, err)
 	}
 
 	n := 4
-	got, err = (&ConfigOverrides{NumSMs: &n}).apply(base)
+	got, err = (&ConfigOverrides{NumSMs: &n}).Apply(base)
 	if err != nil {
 		t.Fatal(err)
 	}
