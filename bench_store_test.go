@@ -1,0 +1,75 @@
+// Benchmarks for the persistent result store (PR 9): entry encode,
+// fail-closed decode, and a full disk Load (read + checksum + StateHash
+// verification). These bound the latency a warm-started daemon pays per
+// store-served run instead of a fresh simulation.
+package lattecc_test
+
+import (
+	"testing"
+
+	"lattecc"
+	"lattecc/internal/harness"
+	"lattecc/internal/resultstore"
+)
+
+// storeBenchEntry simulates one small run and returns its store key and
+// result — a real entry, so the encoded size and hash cost are
+// representative.
+func storeBenchEntry(b *testing.B) (harness.StoreKey, lattecc.Result) {
+	b.Helper()
+	cfg := lattecc.DefaultConfig()
+	cfg.NumSMs = 2
+	cfg.MaxInstructions = 30_000
+	res, err := lattecc.Run(cfg, "SS", lattecc.LatteCC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return harness.StoreKey{
+		Fingerprint: cfg.Fingerprint(),
+		Workload:    "SS",
+		Policy:      lattecc.LatteCC,
+	}, res
+}
+
+func BenchmarkStoreEncode(b *testing.B) {
+	k, res := storeBenchEntry(b)
+	var raw []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw = resultstore.Encode(k, res)
+	}
+	b.ReportMetric(float64(len(raw)), "bytes/entry")
+}
+
+func BenchmarkStoreDecode(b *testing.B) {
+	k, res := storeBenchEntry(b)
+	raw := resultstore.Encode(k, res)
+	want := res.StateHash()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, got, err := resultstore.Decode(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.StateHash() != want {
+			b.Fatal("decode changed the StateHash")
+		}
+	}
+}
+
+// BenchmarkStoreLoadVerify measures the whole warm-hit path: file read,
+// checksum, decode, StateHash recompute, key match.
+func BenchmarkStoreLoadVerify(b *testing.B) {
+	k, res := storeBenchEntry(b)
+	st, err := resultstore.Open(b.TempDir(), resultstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st.Save(k, res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := st.Load(k); !ok {
+			b.Fatal("entry must load")
+		}
+	}
+}

@@ -15,6 +15,7 @@
 //	experiments -all                  # everything, paper order
 //	experiments -all -jobs 8 -v       # parallel, with progress/ETA
 //	experiments -exp fig11 -quick     # smaller machine for a fast pass
+//	experiments -all -store .rcache   # persist results; reruns load from disk
 //	experiments -all -tiny -golden testdata/golden_tiny.txt           # CI gate
 //	experiments -all -tiny -golden testdata/golden_tiny.txt -update   # regenerate
 package main
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"lattecc/internal/harness"
+	"lattecc/internal/resultstore"
 	"lattecc/internal/sim"
 )
 
@@ -46,6 +48,7 @@ func main() {
 		hashes  = flag.Bool("hashes", false, "print per-run StateHash lines instead of tables (daemon parity checks)")
 		golden  = flag.String("golden", "", "compare the rendered text output against this golden file")
 		update  = flag.Bool("update", false, "with -golden: rewrite the golden file instead of comparing")
+		store   = flag.String("store", "", "persistent result-store directory: reuse results across invocations (empty = off)")
 	)
 	flag.Parse()
 	if *jobs < 1 {
@@ -83,6 +86,14 @@ func main() {
 	suite.Jobs = *jobs
 	if *verbose {
 		suite.Reporter = harness.NewProgressReporter(os.Stderr)
+	}
+	if *store != "" {
+		st, err := resultstore.Open(*store, resultstore.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: opening result store: %v\n", err)
+			os.Exit(2)
+		}
+		suite.Store = st
 	}
 
 	var selected []harness.Experiment

@@ -10,12 +10,14 @@
 //	latteccd                          # paper machine on :8437
 //	latteccd -tiny -addr :9000        # CI smoke machine
 //	latteccd -workers 4 -jobs 8       # 4 concurrent jobs, 8-wide sim pool
+//	latteccd -store /var/lattecc      # persist results across restarts
 //
 // API:
 //
 //	POST /v1/runs              submit a run or batch; 202 with a job ID
 //	GET  /v1/runs/{id}         job status and results
 //	GET  /v1/runs/{id}/events  SSE progress stream
+//	GET  /v1/results/{key}     raw result-store entry (cache-peer protocol)
 //	GET  /metrics              Prometheus text format
 //	GET  /healthz, /readyz     probes (readyz answers 503 while draining)
 //
@@ -35,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"lattecc/internal/resultstore"
 	"lattecc/internal/server"
 	"lattecc/internal/sim"
 )
@@ -55,18 +58,20 @@ func defaultAdvertise(addr string) string {
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8437", "listen address")
-		workers  = flag.Int("workers", 2, "jobs executing concurrently")
-		jobs     = flag.Int("jobs", 0, "simulation pool width per job (0 = GOMAXPROCS)")
-		smJobs   = flag.Int("smjobs", 0, "worker goroutines ticking SMs inside each simulation (0/1 = serial; results are bit-identical for any value)")
-		queue    = flag.Int("queue", 64, "admission queue depth (overflow answers 429)")
-		deadline = flag.Duration("deadline", 5*time.Minute, "default per-job deadline")
-		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
-		quick    = flag.Bool("quick", false, "use a smaller GPU (2 SMs) for a fast smoke pass")
-		tiny     = flag.Bool("tiny", false, "use the CI golden-gate machine (2 SMs, 120k-instruction cap)")
+		addr      = flag.String("addr", ":8437", "listen address")
+		workers   = flag.Int("workers", 2, "jobs executing concurrently")
+		jobs      = flag.Int("jobs", 0, "simulation pool width per job (0 = GOMAXPROCS)")
+		smJobs    = flag.Int("smjobs", 0, "worker goroutines ticking SMs inside each simulation (0/1 = serial; results are bit-identical for any value)")
+		queue     = flag.Int("queue", 64, "admission queue depth (overflow answers 429)")
+		deadline  = flag.Duration("deadline", 5*time.Minute, "default per-job deadline")
+		drain     = flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
+		quick     = flag.Bool("quick", false, "use a smaller GPU (2 SMs) for a fast smoke pass")
+		tiny      = flag.Bool("tiny", false, "use the CI golden-gate machine (2 SMs, 120k-instruction cap)")
 		join      = flag.String("join", "", "cluster router base URL to register with (e.g. http://127.0.0.1:8500)")
 		advertise = flag.String("advertise", "", "base URL the router should dial this worker at (default http://127.0.0.1:<addr port>)")
 		heartbeat = flag.Duration("heartbeat", 5*time.Second, "re-registration cadence while joined to a router")
+		storeDir  = flag.String("store", "", "persistent result-store directory (empty = memory-only)")
+		storeMax  = flag.Int64("store-max-bytes", 0, "result-store size bound in bytes; least-recently-used entries are evicted (0 = unbounded)")
 	)
 	flag.Parse()
 	if *workers < 1 {
@@ -93,13 +98,38 @@ func main() {
 	}
 	cfg.SMJobs = *smJobs
 
-	srv := server.New(server.Config{
+	// The advertise URL does double duty: it is what the registrar
+	// announces to the router AND the self-exclusion key for the
+	// cache-peer lookup, so it is resolved before the server is built.
+	adv := *advertise
+	if adv == "" {
+		adv = defaultAdvertise(*addr)
+	}
+
+	srvCfg := server.Config{
 		BaseConfig:      cfg,
 		Workers:         *workers,
 		RunJobs:         *jobs,
 		QueueDepth:      *queue,
 		DefaultDeadline: *deadline,
-	})
+	}
+	if *storeDir != "" {
+		st, err := resultstore.Open(*storeDir, resultstore.Options{MaxBytes: *storeMax})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "latteccd: opening result store: %v\n", err)
+			os.Exit(2)
+		}
+		srvCfg.Store = st
+		if *join != "" {
+			// Clustered and stored: rescue local misses from every other
+			// registered worker's store before simulating.
+			srvCfg.Peers = server.RouterPeers(*join, adv)
+		}
+		c := st.Counters()
+		fmt.Fprintf(os.Stderr, "latteccd: result store %s (%d entries, %d bytes)\n",
+			*storeDir, c.Entries, c.Bytes)
+	}
+	srv := server.New(srvCfg)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -114,10 +144,6 @@ func main() {
 	// worker and router start order is deliberately free.
 	var registrar *server.Registrar
 	if *join != "" {
-		adv := *advertise
-		if adv == "" {
-			adv = defaultAdvertise(*addr)
-		}
 		var err error
 		registrar, err = server.StartRegistrar(*join, adv, *heartbeat, func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

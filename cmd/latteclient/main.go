@@ -24,6 +24,13 @@
 //	    Fetch /metrics, print it, and fail unless every -grep pattern
 //	    matches at least one line.
 //
+//	latteclient store   -addr URL [-min-hits N] [-max-fresh N] [-min-corrupt N]
+//	    Fetch /metrics, print a result-store counter summary, and assert
+//	    bounds on it: at least -min-hits store hits, at most -max-fresh
+//	    fresh simulations, at least -min-corrupt discarded corrupt
+//	    entries (each check skipped when its flag is negative, the
+//	    default). Fails if the daemon has no store configured.
+//
 // Exit status 0 on success, 1 on any failure (failed job, missing
 // golden line, timeout), 2 on usage errors.
 package main
@@ -38,6 +45,7 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -55,6 +63,8 @@ func main() {
 		err = cmdSubmit(os.Args[2:])
 	case "metrics":
 		err = cmdMetrics(os.Args[2:])
+	case "store":
+		err = cmdStore(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -70,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: latteclient {ready|submit|metrics} -addr URL [flags]")
+	fmt.Fprintln(os.Stderr, "usage: latteclient {ready|submit|metrics|store} -addr URL [flags]")
 }
 
 // client is shared by every command: plain HTTP with a bounded
@@ -375,6 +385,76 @@ type grepList []string
 
 func (g *grepList) String() string     { return strings.Join(*g, ", ") }
 func (g *grepList) Set(s string) error { *g = append(*g, s); return nil }
+
+// --- store ------------------------------------------------------------
+
+// cmdStore reads the daemon's result-store counters off /metrics and
+// asserts bounds on them. It is the CI hook for the warm-restart gate:
+// "the second pass served everything from disk" becomes
+// `latteclient store -min-hits N -max-fresh 0` instead of fragile greps.
+func cmdStore(args []string) error {
+	fs := flag.NewFlagSet("store", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8437", "daemon base URL")
+	minHits := fs.Int64("min-hits", -1, "fail if runs served from the store < N (-1 = no check)")
+	maxFresh := fs.Int64("max-fresh", -1, "fail if fresh simulations > N (-1 = no check)")
+	minCorrupt := fs.Int64("min-corrupt", -1, "fail if corrupt entries discarded < N (-1 = no check)")
+	_ = fs.Parse(args)
+
+	resp, err := client.Get(*addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics answered %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+
+	vals := map[string]int64{}
+	for _, l := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(l, "#") {
+			continue
+		}
+		f := strings.Fields(l)
+		if len(f) != 2 {
+			continue
+		}
+		v, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		vals[f[0]] = v
+	}
+	if _, ok := vals["latteccd_store_hits_total"]; !ok {
+		return fmt.Errorf("%s has no result store configured (no latteccd_store_* metrics)", *addr)
+	}
+
+	storeHits := vals["latteccd_simulation_store_hits_total"]
+	fresh := vals["latteccd_simulations_fresh_total"]
+	corrupt := vals["latteccd_store_corrupt_total"]
+	fmt.Printf("store: runs-from-store=%d fresh-sims=%d mem-hits=%d\n",
+		storeHits, fresh, vals["latteccd_simulation_cache_hits_total"])
+	fmt.Printf("store: disk hits=%d misses=%d corrupt=%d evictions=%d saves=%d entries=%d bytes=%d\n",
+		vals["latteccd_store_hits_total"], vals["latteccd_store_misses_total"], corrupt,
+		vals["latteccd_store_evictions_total"], vals["latteccd_store_saves_total"],
+		vals["latteccd_store_entries"], vals["latteccd_store_bytes"])
+	fmt.Printf("store: peer hits=%d misses=%d\n",
+		vals["latteccd_store_peer_hits_total"], vals["latteccd_store_peer_misses_total"])
+
+	if *minHits >= 0 && storeHits < *minHits {
+		return fmt.Errorf("runs served from store = %d, want >= %d", storeHits, *minHits)
+	}
+	if *maxFresh >= 0 && fresh > *maxFresh {
+		return fmt.Errorf("fresh simulations = %d, want <= %d", fresh, *maxFresh)
+	}
+	if *minCorrupt >= 0 && corrupt < *minCorrupt {
+		return fmt.Errorf("corrupt entries discarded = %d, want >= %d", corrupt, *minCorrupt)
+	}
+	return nil
+}
 
 func cmdMetrics(args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)

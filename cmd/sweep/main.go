@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"lattecc/internal/harness"
+	"lattecc/internal/resultstore"
 	"lattecc/internal/sim"
 )
 
@@ -59,6 +60,7 @@ func main() {
 		policyName = flag.String("policy", "LATTE-CC", "policy to measure (speedup vs Uncompressed)")
 		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (must be >= 1)")
 		smJobs     = flag.Int("smjobs", 0, "worker goroutines ticking SMs inside each simulation (0/1 = serial; results are bit-identical for any value)")
+		store      = flag.String("store", "", "persistent result-store directory shared by every sweep point (empty = off)")
 	)
 	flag.Parse()
 	if *jobs < 1 {
@@ -105,6 +107,20 @@ func main() {
 		names = append(names, strings.TrimSpace(n))
 	}
 
+	// All sweep points share one store: each suite's config fingerprint
+	// keys its entries, so points never collide and a repeated sweep (or
+	// one overlapping an earlier sweep's points) loads instead of
+	// re-simulating.
+	var st *resultstore.Store
+	if *store != "" {
+		var err error
+		st, err = resultstore.Open(*store, resultstore.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: opening result store: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	// One suite per sweep point; prefetch every (value, workload) pair,
 	// then drain them all through a single shared pool.
 	suites := make([]*harness.Suite, len(vals))
@@ -113,6 +129,9 @@ func main() {
 		cfg.SMJobs = *smJobs
 		p.apply(&cfg, v)
 		suites[i] = harness.NewSuite(cfg)
+		if st != nil {
+			suites[i].Store = st
+		}
 		suites[i].Prefetch(append(
 			reqsFor(names, harness.Uncompressed),
 			reqsFor(names, harness.Policy(*policyName))...)...)

@@ -66,6 +66,32 @@ type key struct {
 	variant  Variant
 }
 
+// StoreKey identifies one run result in a persistent Store. It is the
+// in-memory cache key widened by the machine-config fingerprint
+// (sim.Config.Fingerprint), so one store directory can safely hold
+// results from many machines — and so a store entry computed by one
+// daemon is addressable by any other daemon serving the same machine.
+type StoreKey struct {
+	Fingerprint uint64
+	Workload    string
+	Policy      Policy
+	Variant     Variant
+}
+
+// Store is the optional persistence tier below the suite's in-memory
+// single-flight cache (internal/resultstore implements it; the daemon
+// layers cluster peers on top). Run consults it after a cache miss and
+// writes every fresh simulation back through it. Implementations must
+// be safe for concurrent use and must fail closed: Load returns ok only
+// for a result it has verified (StateHash recomputed from the decoded
+// bytes) — a corrupt or truncated entry is a miss, never a wrong
+// result. Errors are not persisted: only successful simulations reach
+// Save.
+type Store interface {
+	Load(k StoreKey) (sim.Result, bool)
+	Save(k StoreKey, res sim.Result)
+}
+
 // entry is one single-flight cache slot: the first caller of a key
 // installs the entry and simulates; everyone else blocks on done.
 type entry struct {
@@ -85,9 +111,9 @@ type entry struct {
 // key simulates exactly once no matter how many experiments request it
 // concurrently (single-flight). Because mu is declared nocalls, the
 // analyzer also proves no function call (and hence no simulation, no
-// Reporter callback) ever runs with mu held. Jobs and Reporter are
-// configuration: set them before the first Run/RunAll and leave them
-// alone afterwards.
+// Reporter callback, no Store I/O) ever runs with mu held. Jobs,
+// Reporter, and Store are configuration: set them before the first
+// Run/RunAll and leave them alone afterwards.
 type Suite struct {
 	cfg sim.Config
 
@@ -98,6 +124,15 @@ type Suite struct {
 	// RunAll (progress/ETA reporting). Implementations must be safe for
 	// concurrent use; the suite never holds mu across a call.
 	Reporter Reporter
+	// Store, when non-nil, is the persistence tier consulted on a cache
+	// miss and written on every fresh simulate-complete. Like Jobs and
+	// Reporter it is configuration: set before the first Run. Store
+	// calls happen with mu released (single-flight already serializes
+	// per-key access), so a slow disk or peer fetch never blocks other
+	// keys.
+	Store Store
+
+	fp uint64 // cfg.Fingerprint(), precomputed for store keys
 
 	mu sync.Mutex //lint:mutex nocalls
 	//lint:guards mu
@@ -105,9 +140,10 @@ type Suite struct {
 	//lint:guards mu
 	queue []RunRequest
 	//lint:guards mu
-	queued map[key]bool
-	sims   atomic.Uint64
-	hits   atomic.Uint64
+	queued    map[key]bool
+	sims      atomic.Uint64
+	hits      atomic.Uint64
+	storeHits atomic.Uint64
 }
 
 // NewSuite returns a Suite over the given configuration (typically
@@ -115,6 +151,7 @@ type Suite struct {
 func NewSuite(cfg sim.Config) *Suite {
 	return &Suite{
 		cfg:     cfg,
+		fp:      cfg.Fingerprint(),
 		results: make(map[key]*entry),
 		queued:  make(map[key]bool),
 	}
@@ -127,8 +164,13 @@ func (s *Suite) child(cfg sim.Config) *Suite {
 	c := NewSuite(cfg)
 	c.Jobs = s.Jobs
 	c.Reporter = s.Reporter
+	c.Store = s.Store
 	return c
 }
+
+// Fingerprint returns the machine-config fingerprint the suite keys
+// persistent-store entries with (sim.Config.Fingerprint of its config).
+func (s *Suite) Fingerprint() uint64 { return s.fp }
 
 // Config returns the suite's base configuration.
 func (s *Suite) Config() sim.Config { return s.cfg }
@@ -137,12 +179,18 @@ func (s *Suite) Config() sim.Config { return s.cfg }
 // suite; cache hits and single-flight waiters do not count.
 func (s *Suite) Simulations() uint64 { return s.sims.Load() }
 
-// CacheHits returns how many Run calls were served from the result
-// cache instead of executing a simulation — completed results and
+// CacheHits returns how many Run calls were served from the in-memory
+// result cache instead of executing a simulation — completed results and
 // single-flight joins of in-flight ones both count. Together with
-// Simulations it gives a serving layer its hit/fresh split: every Run
-// call lands in exactly one of the two counters.
+// Simulations and StoreHits it gives a serving layer its full split:
+// every Run call lands in exactly one of the three counters (memory
+// hit, store hit, or fresh simulation).
 func (s *Suite) CacheHits() uint64 { return s.hits.Load() }
+
+// StoreHits returns how many Run calls were served from the persistent
+// Store tier (validated disk or peer entries) instead of simulating.
+// Always zero when no Store is configured.
+func (s *Suite) StoreHits() uint64 { return s.storeHits.Load() }
 
 // Policies lists every named policy the harness can run, in a stable
 // order — the admission-validation surface for servers and CLIs.
@@ -214,9 +262,25 @@ func (s *Suite) Run(workloadName string, p Policy, v Variant) (sim.Result, error
 	s.results[k] = e
 	s.mu.Unlock()
 
+	// Persistence tier: a validated store entry (local disk or a cluster
+	// peer) replaces the simulation entirely — including Kernel-OPT's
+	// static prerequisites, which only a fresh simulate needs.
+	if st := s.Store; st != nil {
+		sk := StoreKey{Fingerprint: s.fp, Workload: workloadName, Policy: p, Variant: v}
+		if res, ok := st.Load(sk); ok {
+			s.storeHits.Add(1)
+			e.res = res
+			close(e.done)
+			return e.res, e.err
+		}
+	}
+
 	e.res, e.err = s.simulate(workloadName, p, v)
 	if e.err == nil {
 		s.sims.Add(1)
+		if st := s.Store; st != nil {
+			st.Save(StoreKey{Fingerprint: s.fp, Workload: workloadName, Policy: p, Variant: v}, e.res)
+		}
 	}
 	// Deterministic failures stay cached, but a recovered panic is not
 	// assumed deterministic (fault injection and invariant trips are

@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"lattecc/internal/sim"
+)
+
+// mapStore is an in-memory harness.Store for unit-testing the suite's
+// consult-on-miss / save-on-complete wiring without disk I/O.
+type mapStore struct {
+	mu    sync.Mutex
+	m     map[StoreKey]sim.Result
+	loads int
+	saves int
+}
+
+func newMapStore() *mapStore { return &mapStore{m: map[StoreKey]sim.Result{}} }
+
+func (s *mapStore) Load(k StoreKey) (sim.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loads++
+	res, ok := s.m[k]
+	return res, ok
+}
+
+func (s *mapStore) Save(k StoreKey, res sim.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.saves++
+	s.m[k] = res
+}
+
+func storeTestConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.NumSMs = 2
+	cfg.MaxInstructions = 30_000
+	return cfg
+}
+
+func TestSuiteStoreRoundTrip(t *testing.T) {
+	cfg := storeTestConfig()
+	store := newMapStore()
+
+	s1 := NewSuite(cfg)
+	s1.Store = store
+	cold, err := s1.Run("SS", LatteCC, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.saves != 1 {
+		t.Fatalf("fresh simulation must be saved: saves=%d", store.saves)
+	}
+	if s1.Simulations() != 1 || s1.StoreHits() != 0 {
+		t.Fatalf("cold suite counters: sims=%d storeHits=%d", s1.Simulations(), s1.StoreHits())
+	}
+
+	// A fresh suite over the same config (the restarted process) must be
+	// served entirely from the store, bit-identically.
+	s2 := NewSuite(cfg)
+	s2.Store = store
+	warm, err := s2.Run("SS", LatteCC, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := warm.StateHash(), cold.StateHash(); got != want {
+		t.Fatalf("store-served StateHash 0x%016x != cold 0x%016x", got, want)
+	}
+	if s2.Simulations() != 0 || s2.StoreHits() != 1 {
+		t.Fatalf("warm suite counters: sims=%d storeHits=%d", s2.Simulations(), s2.StoreHits())
+	}
+	// Second Run on the warm suite is an in-memory hit, not another
+	// store load: the tiers stack, they don't race.
+	if _, err := s2.Run("SS", LatteCC, Variant{}); err != nil {
+		t.Fatal(err)
+	}
+	if s2.CacheHits() != 1 || s2.StoreHits() != 1 {
+		t.Fatalf("tier split: memHits=%d storeHits=%d", s2.CacheHits(), s2.StoreHits())
+	}
+}
+
+func TestSuiteStoreKeyCarriesFingerprint(t *testing.T) {
+	cfg := storeTestConfig()
+	store := newMapStore()
+	s := NewSuite(cfg)
+	s.Store = store
+	if _, err := s.Run("SS", Uncompressed, Variant{}); err != nil {
+		t.Fatal(err)
+	}
+	want := StoreKey{Fingerprint: cfg.Fingerprint(), Workload: "SS", Policy: Uncompressed}
+	if _, ok := store.m[want]; !ok {
+		t.Fatalf("saved under wrong key; store holds %v", keysOf(store.m))
+	}
+
+	// A different machine must never be served from this key: its suite
+	// computes a different fingerprint and misses.
+	cfg2 := cfg
+	cfg2.MaxInstructions = 31_000
+	s2 := NewSuite(cfg2)
+	s2.Store = store
+	if _, err := s2.Run("SS", Uncompressed, Variant{}); err != nil {
+		t.Fatal(err)
+	}
+	if s2.StoreHits() != 0 || s2.Simulations() != 1 {
+		t.Fatalf("different fingerprint must miss: storeHits=%d sims=%d",
+			s2.StoreHits(), s2.Simulations())
+	}
+}
+
+func keysOf(m map[StoreKey]sim.Result) []StoreKey {
+	var out []StoreKey
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestSuiteStoreErrorsNotSaved(t *testing.T) {
+	store := newMapStore()
+	s := NewSuite(storeTestConfig())
+	s.Store = store
+	if _, err := s.Run("SS", Policy("no-such-policy"), Variant{}); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+	if store.saves != 0 {
+		t.Fatalf("failed runs must not be persisted: saves=%d", store.saves)
+	}
+}
+
+func TestSuiteStoreServesKernelOptWithoutStatics(t *testing.T) {
+	cfg := storeTestConfig()
+	store := newMapStore()
+
+	s1 := NewSuite(cfg)
+	s1.Store = store
+	cold, err := s1.Run("SS", KernelOpt, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kernel-OPT simulated its three static prerequisites too; all four
+	// results were persisted.
+	if store.saves != 4 {
+		t.Fatalf("Kernel-OPT must persist its statics as well: saves=%d", store.saves)
+	}
+
+	// On the warm path the stored Kernel-OPT result short-circuits the
+	// whole measure-then-replay protocol: zero simulations, one load.
+	s2 := NewSuite(cfg)
+	s2.Store = store
+	warm, err := s2.Run("SS", KernelOpt, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.StateHash() != cold.StateHash() {
+		t.Fatal("warm Kernel-OPT hash differs")
+	}
+	if s2.Simulations() != 0 || s2.StoreHits() != 1 {
+		t.Fatalf("warm Kernel-OPT: sims=%d storeHits=%d (statics must not re-run)",
+			s2.Simulations(), s2.StoreHits())
+	}
+}
+
+func TestChildSuiteInheritsStore(t *testing.T) {
+	store := newMapStore()
+	s := NewSuite(storeTestConfig())
+	s.Store = store
+	cfg2 := s.Config()
+	cfg2.MaxInstructions = 31_000
+	c := s.child(cfg2)
+	if c.Store != Store(store) {
+		t.Fatal("child suite must inherit the parent's store")
+	}
+	if c.Fingerprint() == s.Fingerprint() {
+		t.Fatal("child over a different machine must have a different fingerprint")
+	}
+}

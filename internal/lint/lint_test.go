@@ -205,6 +205,7 @@ func TestDeterminismBoundaryImports(t *testing.T) {
 		"net/http",
 		"lattecc/internal/cluster",
 		"lattecc/internal/harness",
+		"lattecc/internal/resultstore",
 		"lattecc/internal/server",
 	}
 	if len(got) != len(want) {
@@ -240,6 +241,7 @@ func TestOracleDeterminismOnlyExemption(t *testing.T) {
 		"net/http",
 		"lattecc/internal/cluster",
 		"lattecc/internal/harness",
+		"lattecc/internal/resultstore",
 		"lattecc/internal/server",
 	}
 

@@ -10,6 +10,7 @@ import (
 
 	"lattecc/internal/cluster"
 	"lattecc/internal/harness"
+	"lattecc/internal/resultstore"
 	"lattecc/internal/server"
 )
 
@@ -19,5 +20,6 @@ func touch() {
 	_ = http.MethodGet
 	_ = cluster.Config{}
 	_ = harness.RunRequest{}
+	_ = resultstore.Options{}
 	_ = server.Config{}
 }

@@ -12,6 +12,7 @@ import (
 
 	_ "lattecc/internal/cluster"
 	_ "lattecc/internal/harness"
+	_ "lattecc/internal/resultstore"
 	_ "lattecc/internal/server"
 )
 

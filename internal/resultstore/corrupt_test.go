@@ -1,0 +1,112 @@
+package resultstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// These tests apply the tracefile corrupt-stream discipline to store
+// entries: truncate at every byte offset and flip every byte (and every
+// bit), at both the codec layer and the full store layer. The contract
+// under test is fail-closed validation — every corruption must surface
+// as ErrCorrupt / a clean miss with the corrupt counter bumped, never a
+// panic and never a result whose StateHash differs from the original.
+
+func TestDecodeTruncatedAtEveryOffset(t *testing.T) {
+	raw := Encode(testKey("SS"), testResult("SS"))
+	if _, _, err := Decode(raw); err != nil {
+		t.Fatalf("intact entry must decode: %v", err)
+	}
+	for cut := 0; cut < len(raw); cut++ {
+		if _, _, err := Decode(raw[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut at %d/%d: want ErrCorrupt, got %v", cut, len(raw), err)
+		}
+	}
+}
+
+func TestDecodeFlipEveryByteAndBit(t *testing.T) {
+	raw := Encode(testKey("SS"), testResult("SS"))
+	buf := make([]byte, len(raw))
+	for i := 0; i < len(raw); i++ {
+		// Whole-byte flip plus each single bit: the trailing FNV-1a
+		// checksum covers every preceding byte (and is itself compared),
+		// so any one-byte change anywhere must fail validation.
+		for _, mask := range []byte{0xFF, 1, 2, 4, 8, 16, 32, 64, 128} {
+			copy(buf, raw)
+			buf[i] ^= mask
+			if _, _, err := Decode(buf); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip 0x%02x at %d: want ErrCorrupt, got %v", mask, i, err)
+			}
+		}
+	}
+}
+
+// TestStoreCorruptSweep drives the same sweeps through the Store proper:
+// each corrupted file is indexed by a fresh Open (the restarted-daemon
+// path), must Load as a miss with the corrupt counter bumped, and must
+// be deleted so the re-simulated result can be saved cleanly.
+func TestStoreCorruptSweep(t *testing.T) {
+	k := testKey("SS")
+	res := testResult("SS")
+	wantHash := res.StateHash()
+	raw := Encode(k, res)
+	dir := t.TempDir()
+	path := filepath.Join(dir, KeyHex(k)+suffix)
+
+	check := func(t *testing.T, mutated []byte, desc string) {
+		t.Helper()
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("%s: Open: %v", desc, err)
+		}
+		got, ok := st.Load(k)
+		if ok {
+			// Only a byte-identical entry may serve — and then only with
+			// the exact original hash ("never a wrong StateHash").
+			if got.StateHash() != wantHash {
+				t.Fatalf("%s: served a WRONG result (hash 0x%016x, want 0x%016x)",
+					desc, got.StateHash(), wantHash)
+			}
+			t.Fatalf("%s: corrupt entry must miss, not serve", desc)
+		}
+		if c := st.Counters(); c.Corrupt != 1 {
+			t.Fatalf("%s: corrupt counter = %d, want 1 (%+v)", desc, c.Corrupt, c)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("%s: corrupt entry must be deleted (err=%v)", desc, err)
+		}
+		// Re-simulation analog: a fresh Save over the discarded entry
+		// must round-trip cleanly again.
+		st.Save(k, res)
+		if again, ok := st.Load(k); !ok || again.StateHash() != wantHash {
+			t.Fatalf("%s: store must recover after re-save (ok=%v)", desc, ok)
+		}
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("truncate-every-offset", func(t *testing.T) {
+		for cut := 0; cut < len(raw); cut++ {
+			check(t, raw[:cut], "cut "+strconv.Itoa(cut))
+		}
+	})
+	t.Run("flip-every-byte", func(t *testing.T) {
+		buf := make([]byte, len(raw))
+		for i := 0; i < len(raw); i++ {
+			copy(buf, raw)
+			buf[i] ^= 0xFF
+			check(t, buf, "flip "+strconv.Itoa(i))
+		}
+	})
+	t.Run("garbage", func(t *testing.T) {
+		check(t, []byte("not a result store entry at all, just prose"), "garbage")
+		check(t, make([]byte, len(raw)), "zeros")
+	})
+}

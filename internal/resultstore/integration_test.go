@@ -1,0 +1,73 @@
+package resultstore_test
+
+import (
+	"testing"
+
+	"lattecc/internal/harness"
+	"lattecc/internal/resultstore"
+	"lattecc/internal/sim"
+)
+
+// TestSuiteDiskRoundTripStateHashExact is the acceptance pin for the
+// tentpole: a run served from disk by a fresh suite (the restarted
+// process) must carry exactly the StateHash the cold run produced —
+// the disk tier is byte-invisible to results.
+func TestSuiteDiskRoundTripStateHashExact(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.NumSMs = 2
+	cfg.MaxInstructions = 30_000
+
+	st1, err := resultstore.Open(t.TempDir(), resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := st1.Dir()
+
+	cold := harness.NewSuite(cfg)
+	cold.Store = st1
+	runs := []struct {
+		w string
+		p harness.Policy
+		v harness.Variant
+	}{
+		{"SS", harness.LatteCC, harness.Variant{}},
+		{"SS", harness.Uncompressed, harness.Variant{}},
+		{"BO", harness.StaticSC, harness.Variant{SampleSeries: true}},
+	}
+	want := map[int]uint64{}
+	for i, r := range runs {
+		res, err := cold.Run(r.w, r.p, r.v)
+		if err != nil {
+			t.Fatalf("cold %s/%s: %v", r.w, r.p, err)
+		}
+		want[i] = res.StateHash()
+	}
+
+	// Reopen the directory (warm restart) under a brand-new suite.
+	st2, err := resultstore.Open(dir, resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := harness.NewSuite(cfg)
+	warm.Store = st2
+	for i, r := range runs {
+		res, err := warm.Run(r.w, r.p, r.v)
+		if err != nil {
+			t.Fatalf("warm %s/%s: %v", r.w, r.p, err)
+		}
+		if res.StateHash() != want[i] {
+			t.Fatalf("warm %s/%s: StateHash 0x%016x, want 0x%016x",
+				r.w, r.p, res.StateHash(), want[i])
+		}
+	}
+	if warm.Simulations() != 0 {
+		t.Fatalf("warm suite simulated %d runs; every run must come from disk",
+			warm.Simulations())
+	}
+	if warm.StoreHits() != uint64(len(runs)) {
+		t.Fatalf("store hits = %d, want %d", warm.StoreHits(), len(runs))
+	}
+	if c := st2.Counters(); c.Corrupt != 0 || c.Hits != uint64(len(runs)) {
+		t.Fatalf("store counters after warm pass: %+v", c)
+	}
+}

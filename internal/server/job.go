@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"lattecc/internal/harness"
-	"lattecc/internal/invariant"
 	"lattecc/internal/sim"
 )
 
@@ -360,59 +359,14 @@ func (o *ConfigOverrides) Apply(cfg sim.Config) (sim.Config, error) {
 	return cfg, nil
 }
 
-// fingerprint folds the scalar machine parameters of a config into one
-// key, so every job that resolves to the same machine shares one
-// resident suite (and therefore one result cache). Codec wiring and
-// trace hooks are fixed for the daemon's lifetime and deliberately not
-// part of the key. SMJobs is likewise excluded: the epoch engine makes
-// results bit-identical across worker counts, so suites (and their
-// cached results) are shared across sm_jobs overrides.
+// fingerprint keys resident suites by machine. The fold itself lives on
+// sim.Config.Fingerprint so the harness's persistent result store keys
+// entries with the exact value the daemon files suites under (and the
+// router hashes for affinity routing).
 // FingerprintConfig exposes the fingerprint to the cluster router: the
 // router hashes the same key the worker will file the job's suite
 // under, which is what makes fingerprint-affinity routing line up with
 // worker-side cache residency.
 func FingerprintConfig(cfg sim.Config) uint64 { return fingerprint(cfg) }
 
-func fingerprint(cfg sim.Config) uint64 {
-	h := invariant.NewHash()
-	h.Int(int64(cfg.NumSMs))
-	h.Byte(byte(cfg.Scheduler))
-	h.Int(int64(cfg.MaxWarpsPerSM))
-	h.Int(int64(cfg.MaxBlocksPerSM))
-	h.Int(int64(cfg.SchedulersPerSM))
-	h.Int(int64(cfg.WarpSize))
-	h.Int(int64(cfg.L1Ports))
-	if cfg.WriteThroughL1 {
-		h.Byte(1)
-	} else {
-		h.Byte(0)
-	}
-	h.Int(int64(cfg.MSHRs))
-	h.Int(int64(cfg.Cache.SizeBytes))
-	h.Int(int64(cfg.Cache.LineSize))
-	h.Int(int64(cfg.Cache.Ways))
-	h.Uint64(cfg.Cache.HitLatency)
-	h.Uint64(cfg.Cache.ExtraHitLatency)
-	h.Uint64(cfg.Cache.DecompInitInterval)
-	h.Int(int64(cfg.Cache.DecompBufferEntries))
-	h.Int(int64(cfg.Mem.LineSize))
-	h.Int(int64(cfg.Mem.L2SizeBytes))
-	h.Int(int64(cfg.Mem.L2Ways))
-	h.Int(int64(cfg.Mem.L2Banks))
-	h.Uint64(cfg.Mem.L2Latency)
-	h.Uint64(cfg.Mem.L2Service)
-	h.Int(int64(cfg.Mem.DRAMChannels))
-	h.Uint64(cfg.Mem.DRAMLatency)
-	h.Uint64(cfg.Mem.DRAMService)
-	h.Uint64(cfg.ToleranceWindow)
-	h.Float64(cfg.ToleranceCap)
-	h.Uint64(cfg.MaxInstructions)
-	h.Uint64(cfg.MaxCycles)
-	if cfg.FlushL1AtKernelBoundary {
-		h.Byte(1)
-	} else {
-		h.Byte(0)
-	}
-	h.Uint64(cfg.SampleEvery)
-	return h.Sum()
-}
+func fingerprint(cfg sim.Config) uint64 { return cfg.Fingerprint() }

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lattecc/internal/resultstore"
 )
 
 // metrics is latteccd's observability registry: a fixed set of counters
@@ -76,7 +78,16 @@ type metricsSnapshot struct {
 	suites     int
 	fresh      uint64 // sum of Suite.Simulations() over all suites
 	cacheHits  uint64 // sum of Suite.CacheHits() over all suites
+	storeHits  uint64 // sum of Suite.StoreHits() over all suites
 	draining   bool
+
+	// Persistent-store activity; rendered only when a store is
+	// configured (hasStore), so memory-only daemons scrape identically
+	// to pre-store builds.
+	hasStore   bool
+	store      resultstore.Counters
+	peerHits   uint64
+	peerMisses uint64
 }
 
 // write renders the registry in Prometheus text format. Workloads are
@@ -111,6 +122,21 @@ func (m *metrics) write(w io.Writer, snap metricsSnapshot) {
 		"Simulations actually executed (Suite.Simulations over all suites).", snap.fresh)
 	counter("latteccd_simulation_cache_hits_total",
 		"Run requests served from the result cache (Suite.CacheHits over all suites).", snap.cacheHits)
+	counter("latteccd_simulation_store_hits_total",
+		"Run requests served from the persistent result store (Suite.StoreHits over all suites).", snap.storeHits)
+
+	if snap.hasStore {
+		counter("latteccd_store_hits_total", "Store loads served from a validated disk entry.", snap.store.Hits)
+		counter("latteccd_store_misses_total", "Store loads with no entry on disk.", snap.store.Misses)
+		counter("latteccd_store_corrupt_total",
+			"Entries discarded by fail-closed validation (truncation, checksum, StateHash, key mismatch).", snap.store.Corrupt)
+		counter("latteccd_store_evictions_total", "Entries deleted by the LRU size bound.", snap.store.Evictions)
+		counter("latteccd_store_saves_total", "Entries written to disk.", snap.store.Saves)
+		gauge("latteccd_store_entries", "Entries currently indexed by the store.", int64(snap.store.Entries))
+		gauge("latteccd_store_bytes", "Total bytes of indexed store entries.", snap.store.Bytes)
+		counter("latteccd_store_peer_hits_total", "Local store misses rescued by a cluster peer's entry.", snap.peerHits)
+		counter("latteccd_store_peer_misses_total", "Local store misses no cluster peer could serve.", snap.peerMisses)
+	}
 
 	// Snapshot the histograms under mu, render outside: mu is nocalls,
 	// so holding it across Fprintf to a caller-supplied writer (an HTTP

@@ -31,6 +31,7 @@ import (
 
 	"lattecc/internal/fault"
 	"lattecc/internal/harness"
+	"lattecc/internal/resultstore"
 	"lattecc/internal/sim"
 )
 
@@ -51,6 +52,16 @@ type Config struct {
 	// deadline_ms (default 5 minutes).
 	DefaultDeadline time.Duration
 
+	// Store, when non-nil, is the persistent result tier attached to
+	// every resident suite: consulted on cache miss, written on every
+	// fresh simulate-complete, served to cluster peers via
+	// GET /v1/results/{key}, and surfaced on /metrics.
+	Store *resultstore.Store
+	// Peers, when non-nil (and Store is set), lists the base URLs of
+	// cluster peers whose stores are consulted on a local store miss —
+	// the cache-peer protocol. Typically RouterPeers(join, advertise).
+	Peers func() []string
+
 	// startHook, when set (tests only), runs at the top of every job
 	// execution — the seam that lets tests hold a worker in place.
 	startHook func(*Job)
@@ -63,6 +74,9 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	metrics *metrics
+	// store is the disk+peer tier installed on every resident suite;
+	// nil when the daemon runs memory-only (no -store flag).
+	store *tieredStore
 
 	mu        sync.Mutex
 	suites    map[uint64]*harness.Suite
@@ -113,8 +127,12 @@ func New(cfg Config) *Server {
 	for _, p := range harness.Policies() {
 		s.policies[p] = true
 	}
+	if cfg.Store != nil {
+		s.store = newTieredStore(cfg.Store, cfg.Peers)
+	}
 
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/load", s.handleLoad)
@@ -278,6 +296,11 @@ func (s *Server) suiteFor(cfg sim.Config) (*harness.Suite, uint64) {
 	st := harness.NewSuite(cfg)
 	st.Jobs = s.cfg.RunJobs
 	st.Reporter = &suiteReporter{srv: s, fp: fp}
+	if s.store != nil {
+		// Guarded assignment: a nil *tieredStore inside a non-nil
+		// harness.Store interface would defeat the suite's nil check.
+		st.Store = s.store
+	}
 	s.suites[fp] = st
 	return st, fp
 }
@@ -508,8 +531,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, st := range s.suites {
 		snap.fresh += st.Simulations()
 		snap.cacheHits += st.CacheHits()
+		snap.storeHits += st.StoreHits()
 	}
 	s.mu.Unlock()
+	if s.store != nil {
+		snap.hasStore = true
+		snap.store = s.store.disk.Counters()
+		snap.peerHits = s.store.peerHits.Load()
+		snap.peerMisses = s.store.peerMisses.Load()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.write(w, snap)
 }

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lattecc/internal/resultstore"
+)
+
+func openStore(t *testing.T, dir string) *resultstore.Store {
+	t.Helper()
+	st, err := resultstore.Open(dir, resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func storeBatch() SubmitRequest {
+	return SubmitRequest{Runs: []RunSpec{
+		{Workload: "SS", Policy: "LATTE-CC"},
+		{Workload: "SS", Policy: "Uncompressed"},
+		{Workload: "BO", Policy: "Uncompressed"},
+	}}
+}
+
+// TestDaemonWarmRestartStoreParity is the daemon-level restart contract:
+// a second daemon over the same store directory serves the identical
+// StateHashes with zero fresh simulations.
+func TestDaemonWarmRestartStoreParity(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, ts1 := newTestServer(t, Config{Store: openStore(t, dir)})
+	cold := waitJob(t, ts1.URL, submit(t, ts1.URL, storeBatch()).ID)
+	if cold.Status != string(stateDone) {
+		t.Fatalf("cold job: %+v", cold)
+	}
+	if got := suiteCounters(s1); got.fresh != 3 || got.store != 0 {
+		t.Fatalf("cold pass counters: %+v", got)
+	}
+
+	s2, ts2 := newTestServer(t, Config{Store: openStore(t, dir)})
+	warm := waitJob(t, ts2.URL, submit(t, ts2.URL, storeBatch()).ID)
+	if warm.Status != string(stateDone) {
+		t.Fatalf("warm job: %+v", warm)
+	}
+	for i := range cold.Results {
+		if cold.Results[i].StateHash != warm.Results[i].StateHash {
+			t.Fatalf("run %d: warm hash %s != cold %s",
+				i, warm.Results[i].StateHash, cold.Results[i].StateHash)
+		}
+	}
+	if got := suiteCounters(s2); got.fresh != 0 || got.store != 3 {
+		t.Fatalf("warm pass must serve everything from the store: %+v", got)
+	}
+}
+
+// TestDaemonCorruptEntryResimulates corrupts one entry between daemon
+// generations: the restarted daemon must discard it, re-simulate that
+// one run to the same hash, and serve the rest from the store.
+func TestDaemonCorruptEntryResimulates(t *testing.T) {
+	dir := t.TempDir()
+
+	_, ts1 := newTestServer(t, Config{Store: openStore(t, dir)})
+	cold := waitJob(t, ts1.URL, submit(t, ts1.URL, storeBatch()).ID)
+
+	ents, err := filepath.Glob(filepath.Join(dir, "*.lcr"))
+	if err != nil || len(ents) != 3 {
+		t.Fatalf("store entries: %v (err=%v)", ents, err)
+	}
+	if err := os.Truncate(ents[0], 40); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, Config{Store: openStore(t, dir)})
+	warm := waitJob(t, ts2.URL, submit(t, ts2.URL, storeBatch()).ID)
+	for i := range cold.Results {
+		if cold.Results[i].StateHash != warm.Results[i].StateHash {
+			t.Fatalf("run %d: hash diverged after corruption", i)
+		}
+	}
+	if got := suiteCounters(s2); got.fresh != 1 || got.store != 2 {
+		t.Fatalf("exactly the corrupted entry must re-simulate: %+v", got)
+	}
+	if c := s2.cfg.Store.Counters(); c.Corrupt != 1 {
+		t.Fatalf("corrupt counter: %+v", c)
+	}
+}
+
+// TestCachePeerProtocol stands up two stored daemons and points B's peer
+// source at A: a batch A has already computed must be served on B
+// entirely by peer fetches — zero fresh simulations on B — and the
+// fetched entries must land in B's own store.
+func TestCachePeerProtocol(t *testing.T) {
+	_, tsA := newTestServer(t, Config{Store: openStore(t, t.TempDir())})
+	gold := waitJob(t, tsA.URL, submit(t, tsA.URL, storeBatch()).ID)
+
+	dirB := t.TempDir()
+	sB, tsB := newTestServer(t, Config{
+		Store: openStore(t, dirB),
+		Peers: func() []string { return []string{tsA.URL} },
+	})
+	got := waitJob(t, tsB.URL, submit(t, tsB.URL, storeBatch()).ID)
+	for i := range gold.Results {
+		if gold.Results[i].StateHash != got.Results[i].StateHash {
+			t.Fatalf("run %d: peer-served hash %s != computed %s",
+				i, got.Results[i].StateHash, gold.Results[i].StateHash)
+		}
+	}
+	if c := suiteCounters(sB); c.fresh != 0 || c.store != 3 {
+		t.Fatalf("B must simulate nothing: %+v", c)
+	}
+	if h := sB.store.peerHits.Load(); h != 3 {
+		t.Fatalf("peer hits = %d, want 3", h)
+	}
+	// Write-through: B now owns the entries and can serve them (or a
+	// restart) without A.
+	if c := sB.cfg.Store.Counters(); c.Entries != 3 || c.Saves != 3 {
+		t.Fatalf("peer entries must persist locally: %+v", c)
+	}
+}
+
+// TestResultsEndpoint exercises the serving side directly: raw bytes for
+// a present key, 404 otherwise, 404s on traversal attempts, and 404 on
+// a storeless daemon.
+func TestResultsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Store: openStore(t, dir)})
+	waitJob(t, ts.URL, submit(t, ts.URL, SubmitRequest{Workload: "SS", Policy: "Uncompressed"}).ID)
+
+	ents, _ := filepath.Glob(filepath.Join(dir, "*.lcr"))
+	if len(ents) != 1 {
+		t.Fatalf("want 1 entry, got %v", ents)
+	}
+	keyx := strings.TrimSuffix(filepath.Base(ents[0]), ".lcr")
+
+	resp, err := http.Get(ts.URL + "/v1/results/" + keyx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("present key: status %d", resp.StatusCode)
+	}
+	if _, _, err := resultstore.Decode(raw); err != nil {
+		t.Fatalf("served entry must validate: %v", err)
+	}
+
+	for _, bad := range []string{"0000000000000000", "..%2f..%2fetc%2fpasswd", "nothex"} {
+		resp, err := http.Get(ts.URL + "/v1/results/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("key %q: status %d, want 404", bad, resp.StatusCode)
+		}
+	}
+
+	_, tsNoStore := newTestServer(t, Config{})
+	resp2, err := http.Get(tsNoStore.URL + "/v1/results/" + keyx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("storeless daemon: status %d, want 404", resp2.StatusCode)
+	}
+}
+
+// suiteCounters sums the harness-level counters across resident suites.
+type suiteCountersSnap struct {
+	fresh, mem, store uint64
+}
+
+func suiteCounters(s *Server) suiteCountersSnap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out suiteCountersSnap
+	for _, st := range s.suites {
+		out.fresh += st.Simulations()
+		out.mem += st.CacheHits()
+		out.store += st.StoreHits()
+	}
+	return out
+}

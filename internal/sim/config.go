@@ -5,6 +5,7 @@ import (
 
 	"lattecc/internal/cache"
 	"lattecc/internal/compress"
+	"lattecc/internal/invariant"
 	"lattecc/internal/mem"
 	"lattecc/internal/modes"
 )
@@ -128,6 +129,59 @@ func (c Config) Validate() {
 	if c.SMJobs < 0 {
 		panic(fmt.Sprintf("sim: negative SMJobs %d", c.SMJobs))
 	}
+}
+
+// Fingerprint folds the scalar machine parameters of the config into one
+// key: every run that resolves to the same machine shares the same
+// fingerprint. It keys resident daemon suites, fingerprint-affinity
+// routing in the cluster, and persistent result-store entries — the
+// three layers must agree on the key, which is why the fold lives here.
+// Codec wiring and trace hooks are runtime wiring, deliberately not part
+// of the key. SMJobs is likewise excluded: the epoch engine makes
+// results bit-identical across worker counts, so cached results are
+// shared across sm_jobs overrides.
+func (c Config) Fingerprint() uint64 {
+	h := invariant.NewHash()
+	h.Int(int64(c.NumSMs))
+	h.Byte(byte(c.Scheduler))
+	h.Int(int64(c.MaxWarpsPerSM))
+	h.Int(int64(c.MaxBlocksPerSM))
+	h.Int(int64(c.SchedulersPerSM))
+	h.Int(int64(c.WarpSize))
+	h.Int(int64(c.L1Ports))
+	if c.WriteThroughL1 {
+		h.Byte(1)
+	} else {
+		h.Byte(0)
+	}
+	h.Int(int64(c.MSHRs))
+	h.Int(int64(c.Cache.SizeBytes))
+	h.Int(int64(c.Cache.LineSize))
+	h.Int(int64(c.Cache.Ways))
+	h.Uint64(c.Cache.HitLatency)
+	h.Uint64(c.Cache.ExtraHitLatency)
+	h.Uint64(c.Cache.DecompInitInterval)
+	h.Int(int64(c.Cache.DecompBufferEntries))
+	h.Int(int64(c.Mem.LineSize))
+	h.Int(int64(c.Mem.L2SizeBytes))
+	h.Int(int64(c.Mem.L2Ways))
+	h.Int(int64(c.Mem.L2Banks))
+	h.Uint64(c.Mem.L2Latency)
+	h.Uint64(c.Mem.L2Service)
+	h.Int(int64(c.Mem.DRAMChannels))
+	h.Uint64(c.Mem.DRAMLatency)
+	h.Uint64(c.Mem.DRAMService)
+	h.Uint64(c.ToleranceWindow)
+	h.Float64(c.ToleranceCap)
+	h.Uint64(c.MaxInstructions)
+	h.Uint64(c.MaxCycles)
+	if c.FlushL1AtKernelBoundary {
+		h.Byte(1)
+	} else {
+		h.Byte(0)
+	}
+	h.Uint64(c.SampleEvery)
+	return h.Sum()
 }
 
 // SchedulerKind selects the warp scheduling policy.

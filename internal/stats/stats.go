@@ -101,6 +101,20 @@ func NewSeries(name string, maxLen int) *Series {
 	return &Series{Name: name, maxLen: maxLen, stride: 1}
 }
 
+// RestoreSeries rebuilds a series from previously captured points — the
+// persistent result store's deserialization path. The restored series
+// holds exactly pts (Points returns them verbatim, so StateHash over the
+// points is unchanged); it is a snapshot for reading, not a live
+// accumulator, and further Add calls may downsample on a different
+// cadence than the original.
+func RestoreSeries(name string, pts []Point) *Series {
+	maxLen := 2 * len(pts)
+	if maxLen < 4 {
+		maxLen = 4
+	}
+	return &Series{Name: name, maxLen: maxLen, stride: 1, pts: pts}
+}
+
 // Add appends a sample, downsampling if the budget is exceeded.
 func (s *Series) Add(cycle uint64, v float64) {
 	s.sumC += float64(cycle)
