@@ -32,6 +32,7 @@ import (
 	"lattecc/internal/harness"
 	"lattecc/internal/resultstore"
 	"lattecc/internal/sim"
+	"lattecc/internal/tracefile"
 )
 
 func main() {
@@ -48,9 +49,22 @@ func main() {
 		hashes  = flag.Bool("hashes", false, "print per-run StateHash lines instead of tables (daemon parity checks)")
 		golden  = flag.String("golden", "", "compare the rendered text output against this golden file")
 		update  = flag.Bool("update", false, "with -golden: rewrite the golden file instead of comparing")
-		store   = flag.String("store", "", "persistent result-store directory: reuse results across invocations (empty = off)")
+		store    = flag.String("store", "", "persistent result-store directory: reuse results across invocations (empty = off)")
+		traceDir = flag.String("trace-dir", "", "trace-corpus directory: register every <NAME>.lct/<NAME>.json pair as a replay workload")
 	)
 	flag.Parse()
+	if *traceDir != "" {
+		// Registered before the suite exists — the registry contract is
+		// startup-only (no lock below the determinism boundary).
+		names, err := tracefile.RegisterCorpus(*traceDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "experiments: trace corpus: %s\n", strings.Join(names, " "))
+		}
+	}
 	if *jobs < 1 {
 		fmt.Fprintf(os.Stderr, "experiments: -jobs must be >= 1, got %d\n", *jobs)
 		os.Exit(2)

@@ -40,6 +40,7 @@ import (
 	"lattecc/internal/resultstore"
 	"lattecc/internal/server"
 	"lattecc/internal/sim"
+	"lattecc/internal/tracefile"
 )
 
 // defaultAdvertise derives the URL a router on the same host can dial
@@ -72,8 +73,20 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", 5*time.Second, "re-registration cadence while joined to a router")
 		storeDir  = flag.String("store", "", "persistent result-store directory (empty = memory-only)")
 		storeMax  = flag.Int64("store-max-bytes", 0, "result-store size bound in bytes; least-recently-used entries are evicted (0 = unbounded)")
+		traceDir  = flag.String("trace-dir", "", "trace-corpus directory: register every <NAME>.lct/<NAME>.json pair as a replay workload")
 	)
 	flag.Parse()
+	if *traceDir != "" {
+		// Registered before server.New snapshots the workload list —
+		// registry writes are startup-only (no lock below the determinism
+		// boundary).
+		names, err := tracefile.RegisterCorpus(*traceDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "latteccd: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "latteccd: trace corpus: %d workload(s) registered\n", len(names))
+	}
 	if *workers < 1 {
 		fmt.Fprintf(os.Stderr, "latteccd: -workers must be >= 1, got %d\n", *workers)
 		os.Exit(2)

@@ -22,6 +22,7 @@ import (
 	"lattecc/internal/modes"
 	"lattecc/internal/sim"
 	"lattecc/internal/stats"
+	"lattecc/internal/tracefile"
 	"lattecc/internal/workload"
 )
 
@@ -38,8 +39,17 @@ func main() {
 		extraHit     = flag.Uint64("extra-hit-latency", 0, "added L1 hit latency (Figure 1 study)")
 		smJobs       = flag.Int("smjobs", 0, "worker goroutines ticking SMs inside each simulation (0/1 = serial; results are bit-identical for any value)")
 		jsonOut      = flag.Bool("json", false, "emit the full result as JSON")
+		traceDir     = flag.String("trace-dir", "", "trace-corpus directory: register every <NAME>.lct/<NAME>.json pair as a replay workload")
 	)
 	flag.Parse()
+
+	if *traceDir != "" {
+		// Startup-only registration, before any suite exists.
+		if _, err := tracefile.RegisterCorpus(*traceDir); err != nil {
+			fmt.Fprintf(os.Stderr, "lattesim: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	if *list {
 		fmt.Println("workloads:", strings.Join(harness.Workloads(), " "))

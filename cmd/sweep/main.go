@@ -26,6 +26,7 @@ import (
 	"lattecc/internal/harness"
 	"lattecc/internal/resultstore"
 	"lattecc/internal/sim"
+	"lattecc/internal/tracefile"
 )
 
 // params maps sweepable parameter names to config mutators.
@@ -61,8 +62,16 @@ func main() {
 		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations (must be >= 1)")
 		smJobs     = flag.Int("smjobs", 0, "worker goroutines ticking SMs inside each simulation (0/1 = serial; results are bit-identical for any value)")
 		store      = flag.String("store", "", "persistent result-store directory shared by every sweep point (empty = off)")
+		traceDir   = flag.String("trace-dir", "", "trace-corpus directory: register every <NAME>.lct/<NAME>.json pair as a replay workload")
 	)
 	flag.Parse()
+	if *traceDir != "" {
+		// Startup-only registration, before any suite exists.
+		if _, err := tracefile.RegisterCorpus(*traceDir); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if *jobs < 1 {
 		fmt.Fprintf(os.Stderr, "sweep: -jobs must be >= 1, got %d\n", *jobs)
 		os.Exit(2)

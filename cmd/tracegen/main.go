@@ -1,0 +1,151 @@
+// Command tracegen deterministically (re)generates the committed trace
+// corpus under testdata/traces: for each table entry it runs the source
+// workload on a small fixed machine with the L1 access hook recording,
+// then writes <NAME>.lct plus the <NAME>.json sidecar (geometry, data
+// regions, record count, checksum) that tracefile.LoadCorpus validates
+// against.
+//
+// Usage:
+//
+//	tracegen -dir testdata/traces          # regenerate the corpus files
+//	tracegen -dir testdata/traces -check   # verify committed bytes reproduce
+//
+// -check is the CI gate: capture is deterministic (serial simulation,
+// fixed config), so the committed corpus must be byte-identical to a
+// fresh regeneration — any drift means either the simulator's access
+// stream changed (regenerate and re-golden) or the files were corrupted.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lattecc/internal/harness"
+	"lattecc/internal/modes"
+	"lattecc/internal/policy"
+	"lattecc/internal/sim"
+	"lattecc/internal/tracefile"
+	"lattecc/internal/workload"
+)
+
+// corpusSpec is one corpus entry to capture.
+type corpusSpec struct {
+	Name          string // corpus workload name (and file stem)
+	Source        string // synthetic workload to record
+	Blocks        int    // replay geometry
+	WarpsPerBlock int
+	GapCap        uint32 // replay pacing cap (cycles per inter-record ALU)
+}
+
+// corpus is the committed corpus table. Names sort after the synthetic
+// suite's abbreviations on purpose (T-prefix), keeping golden diffs
+// readable when the corpus is registered.
+var corpus = []corpusSpec{
+	{Name: "TBO", Source: "BO", Blocks: 8, WarpsPerBlock: 4, GapCap: 16},
+	{Name: "TSS", Source: "SS", Blocks: 8, WarpsPerBlock: 4, GapCap: 16},
+}
+
+// capture records one corpus entry, returning the trace bytes and the
+// sidecar bytes.
+func capture(e corpusSpec) (lct, meta []byte, err error) {
+	wl, err := workload.ByName(e.Source)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec, ok := wl.(*workload.Spec)
+	if !ok {
+		return nil, nil, fmt.Errorf("source %s is not a synthetic spec", e.Source)
+	}
+	var buf bytes.Buffer
+	tw, err := tracefile.NewWriter(&buf, e.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Small fixed machine, serial stepping, uncompressed policy: the
+	// capture must be bit-deterministic and policy-neutral (the access
+	// stream is the workload's, not a controller artifact).
+	cfg := sim.DefaultConfig()
+	cfg.NumSMs = 2
+	cfg.MaxInstructions = 60_000
+	cfg.Trace = tw
+	sim.New(cfg, wl, func(int) modes.Controller {
+		return policy.NewStatic(modes.None, string(harness.Uncompressed), 256, 10)
+	}).Run()
+	if err := tw.Flush(); err != nil {
+		return nil, nil, err
+	}
+	meta, err = tracefile.EncodeCorpusMeta(tracefile.CorpusEntry{
+		Name: e.Name, Source: e.Source, Category: wl.Category(),
+		Blocks: e.Blocks, WarpsPerBlock: e.WarpsPerBlock,
+		ALUGapCap: e.GapCap, Regions: spec.Regions,
+	}, buf.Bytes(), tw.Count())
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf.Bytes(), meta, nil
+}
+
+func main() {
+	var (
+		dir   = flag.String("dir", "testdata/traces", "corpus directory")
+		check = flag.Bool("check", false, "verify the committed corpus reproduces byte-for-byte instead of writing")
+	)
+	flag.Parse()
+
+	fail := false
+	for _, e := range corpus {
+		lct, meta, err := capture(e)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		lctPath := filepath.Join(*dir, e.Name+".lct")
+		metaPath := filepath.Join(*dir, e.Name+".json")
+		if *check {
+			for _, f := range []struct {
+				path string
+				want []byte
+			}{{lctPath, lct}, {metaPath, meta}} {
+				got, err := os.ReadFile(f.path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "tracegen: %v (regenerate without -check)\n", err)
+					fail = true
+					continue
+				}
+				if !bytes.Equal(got, f.want) {
+					fmt.Fprintf(os.Stderr, "tracegen: %s differs from a fresh capture (%d vs %d bytes) — regenerate and commit\n",
+						f.path, len(got), len(f.want))
+					fail = true
+				}
+			}
+			// The committed pair must also load through the corpus validator.
+			if _, err := tracefile.LoadWorkload(lctPath, metaPath); err != nil {
+				fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+				fail = true
+			}
+			if !fail {
+				fmt.Printf("tracegen: %s OK (%d trace bytes)\n", e.Name, len(lct))
+			}
+			continue
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(lctPath, lct, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(metaPath, meta, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tracegen: wrote %s (%d trace bytes)\n", lctPath, len(lct))
+	}
+	if fail {
+		os.Exit(1)
+	}
+}

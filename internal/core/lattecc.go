@@ -96,6 +96,17 @@ type Config struct {
 	SampleEveryPeriods  uint64
 	StableBeforeBackoff uint64
 
+	// KernelBoundaryReset restarts the period state machine whenever a new
+	// kernel launches: the sampling window reopens immediately and the
+	// stable-prediction backoff resets, so the controller re-learns the new
+	// kernel's capacity signal instead of trusting counters sampled from
+	// the previous kernel's access mix for up to SampleEveryPeriods
+	// periods. False reproduces the paper's hardware model, where the EP
+	// machinery is oblivious to kernel launches and state simply persists
+	// (the winner carries over and re-learning waits for the next sampling
+	// window).
+	KernelBoundaryReset bool
+
 	Decision Decision
 }
 
@@ -236,8 +247,22 @@ func (c *Controller) EPLog() []modes.Mode { return c.epLog }
 func (c *Controller) EPKernels() []int32 { return c.epKernel }
 
 // KernelStart tags subsequent EP-log entries with the kernel index; the
-// simulator calls it at kernel boundaries.
-func (c *Controller) KernelStart(idx int) { c.curKernel = int32(idx) }
+// simulator calls it at kernel boundaries. With KernelBoundaryReset set,
+// entering a different kernel also restarts the period state machine
+// (fresh sampling window, cleared counters, backoff reset) — the winner
+// itself is retained until the reopened window decides otherwise.
+func (c *Controller) KernelStart(idx int) {
+	if c.cfg.KernelBoundaryReset && int32(idx) != c.curKernel {
+		c.epInPeriod = 0
+		c.sampling = true
+		c.stablePeriods = 0
+		for m := range c.hits {
+			c.hits[m], c.inserts[m] = 0, 0
+		}
+		c.tolEP.Reset()
+	}
+	c.curKernel = int32(idx)
+}
 
 // EPsInMode returns how many adaptive EPs each mode won.
 func (c *Controller) EPsInMode() [modes.NumModes]uint64 { return c.epsInMode }

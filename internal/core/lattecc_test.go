@@ -354,3 +354,75 @@ func TestNoSamplesKeepsBaseline(t *testing.T) {
 		t.Fatalf("with no samples the controller must hold the baseline, got %v", c.CurrentMode())
 	}
 }
+
+// TestKernelStartDefaultOnlyTags pins the paper-model default: the
+// controller state machine runs across kernel boundaries (EP state, the
+// sampling counters, and the tolerance accumulator all survive); the
+// boundary only changes the kernel tag on subsequent EP-log entries.
+func TestKernelStartDefaultOnlyTags(t *testing.T) {
+	c := New(testCfg())
+	driveEP(c, map[modes.Mode]bool{modes.LowLat: true})
+	c.RecordTolerance(12)
+	ep, hits, inserts := c.epInPeriod, c.hits, c.inserts
+	tolN := c.tolEP.Count()
+
+	c.KernelStart(1)
+	if c.epInPeriod != ep || c.hits != hits || c.inserts != inserts || c.tolEP.Count() != tolN {
+		t.Fatal("default KernelStart mutated controller state beyond the kernel tag")
+	}
+	if c.curKernel != 1 {
+		t.Fatalf("curKernel = %d, want 1", c.curKernel)
+	}
+}
+
+// TestKernelBoundaryResetRestartsPeriod pins the opt-in flush-at-launch
+// model: entering a different kernel restarts the period state machine
+// (EP position, sampling window, backoff, counters, tolerance samples)
+// while retaining the incumbent winner; re-announcing the same kernel is
+// a no-op.
+func TestKernelBoundaryResetRestartsPeriod(t *testing.T) {
+	cfg := testCfg()
+	cfg.KernelBoundaryReset = true
+	c := New(cfg)
+	driveEP(c, map[modes.Mode]bool{modes.LowLat: true})
+	c.RecordTolerance(30)
+	if c.winner != modes.LowLat {
+		t.Fatalf("setup: winner = %v, want LowLat", c.winner)
+	}
+	// Put the backoff machinery in a non-default state so the reset is
+	// observable on every field it promises to touch.
+	c.sampling = false
+	c.stablePeriods = 5
+
+	// Same kernel index: nothing resets.
+	ep := c.epInPeriod
+	c.KernelStart(0)
+	if c.epInPeriod != ep || c.sampling || c.stablePeriods != 5 || c.tolEP.Count() == 0 {
+		t.Fatal("KernelStart with the current kernel index must be a no-op")
+	}
+
+	c.KernelStart(1)
+	if c.epInPeriod != 0 {
+		t.Errorf("epInPeriod = %d, want 0 after boundary reset", c.epInPeriod)
+	}
+	if !c.sampling {
+		t.Error("sampling window not reopened at kernel boundary")
+	}
+	if c.stablePeriods != 0 {
+		t.Errorf("stablePeriods = %d, want 0 (backoff reset)", c.stablePeriods)
+	}
+	for m := range c.hits {
+		if c.hits[m] != 0 || c.inserts[m] != 0 {
+			t.Fatalf("mode %d counters not cleared: hits=%d inserts=%d", m, c.hits[m], c.inserts[m])
+		}
+	}
+	if c.tolEP.Count() != 0 {
+		t.Error("tolerance accumulator not cleared at kernel boundary")
+	}
+	if c.winner != modes.LowLat {
+		t.Errorf("winner = %v, want the incumbent LowLat retained across the reset", c.winner)
+	}
+	if c.curKernel != 1 {
+		t.Errorf("curKernel = %d, want 1", c.curKernel)
+	}
+}

@@ -1,0 +1,301 @@
+package harness
+
+import (
+	"path/filepath"
+	"testing"
+
+	"lattecc/internal/modes"
+	"lattecc/internal/sim"
+	"lattecc/internal/tracefile"
+)
+
+// Scenario conformance/calibration suite: qualitative assertions that
+// each scenario class exercises the controller behaviour it was designed
+// to exercise, on the full Table II machine where the paper's parameters
+// are calibrated. Thresholds carry generous margins over measured values
+// (noted inline) so fidelity-neutral refactors don't trip them.
+
+// fullMachine gates the calibration tests the way the other fidelity
+// checks are gated: they assert simulator behaviour, not concurrency, so
+// -short and -race runs skip them.
+func fullMachine(t *testing.T) *Suite {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-machine calibration check")
+	}
+	if raceEnabled {
+		t.Skip("pure fidelity check, no concurrency; race overhead for nothing")
+	}
+	return NewSuite(sim.DefaultConfig())
+}
+
+// dominantModePerKernel folds SM0's EP decision log by kernel index and
+// returns each kernel's most-decided mode.
+func dominantModePerKernel(r sim.Result) map[int32]modes.Mode {
+	counts := map[int32][modes.NumModes]int{}
+	for i, m := range r.EPLog {
+		k := r.EPKernels[i]
+		c := counts[k]
+		c[m]++
+		counts[k] = c
+	}
+	out := make(map[int32]modes.Mode, len(counts))
+	for k, c := range counts {
+		best, bestN := modes.None, -1
+		for m, n := range c {
+			if n > bestN {
+				best, bestN = modes.Mode(m), n
+			}
+		}
+		out[k] = best
+	}
+	return out
+}
+
+// TestScenarioMultiKernelCalibration: MKS's three kernels have opposed
+// mode affinities, so (a) the adaptive controller's per-kernel dominant
+// decision must change at a kernel boundary, (b) the Kernel-OPT schedule
+// must use at least two distinct modes, and (c) the per-kernel oracle
+// must strictly beat every single static policy — the property that
+// makes Kernel-OPT meaningful at all, unreachable by any single-kernel
+// workload. (Measured: dominant HighCap/LowLat/LowLat; schedule
+// [HighCap LowLat HighCap]; Kernel-OPT 224k cycles vs best-static 247k.)
+func TestScenarioMultiKernelCalibration(t *testing.T) {
+	s := fullMachine(t)
+	r := s.MustRun("MKS", LatteCC, Variant{})
+	if len(r.Kernels) != 3 {
+		t.Fatalf("MKS ran %d kernels, want 3", len(r.Kernels))
+	}
+	seen := map[int32]bool{}
+	for _, k := range r.EPKernels {
+		seen[k] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("EP decisions span %d kernels, want all 3 (EPKernels broken?)", len(seen))
+	}
+	dom := dominantModePerKernel(r)
+	if dom[0] == dom[1] && dom[1] == dom[2] {
+		t.Errorf("dominant mode never changes across MKS kernels (all %v); boundaries invisible to the controller", dom[0])
+	}
+	if dom[0] != modes.HighCap {
+		t.Errorf("MKS dict kernel dominant mode = %v, want HighCap (deep ALU cover + dictionary values)", dom[0])
+	}
+	if dom[1] != modes.LowLat {
+		t.Errorf("MKS stride kernel dominant mode = %v, want LowLat (no latency cover)", dom[1])
+	}
+
+	sched, err := s.kernelOptSchedule("MKS", Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[modes.Mode]bool{}
+	for _, m := range sched {
+		distinct[m] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("Kernel-OPT schedule %v uses one mode; MKS must force a per-kernel choice", sched)
+	}
+
+	ko := s.MustRun("MKS", KernelOpt, Variant{})
+	for _, p := range []Policy{Uncompressed, StaticBDI, StaticSC} {
+		st := s.MustRun("MKS", p, Variant{})
+		if ko.Cycles >= st.Cycles {
+			t.Errorf("Kernel-OPT (%d cycles) does not beat %s (%d): per-kernel choice is not meaningful",
+				ko.Cycles, p, st.Cycles)
+		}
+	}
+}
+
+// TestScenarioConcurrentMixCalibration: MKM stripes two opposed programs
+// through one launch, so SM0's decision log must mix modes within the
+// single kernel (no clean per-kernel signal exists), while the adaptive
+// run still beats the uncompressed baseline. (Measured: decisions
+// 13/30/23 across the three modes; speedup 1.27.)
+func TestScenarioConcurrentMixCalibration(t *testing.T) {
+	s := fullMachine(t)
+	r := s.MustRun("MKM", LatteCC, Variant{})
+	if len(r.Kernels) != 1 {
+		t.Fatalf("MKM ran %d kernels, want 1 (Mix is intra-launch)", len(r.Kernels))
+	}
+	distinct := map[modes.Mode]bool{}
+	for _, m := range r.EPLog {
+		distinct[m] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("MKM decision log uses a single mode (%v); the block mix should deny a stable winner", r.EPLog)
+	}
+	spd, err := s.Speedup("MKM", LatteCC, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spd < 1.1 {
+		t.Errorf("MKM LATTE-CC speedup %.3f < 1.1: the mix should still profit from compression", spd)
+	}
+}
+
+// TestScenarioAdversarialBoundedLag: AVF/AVS flip compressibility at a
+// cadence incommensurate with the EP, the worst case for the predictor.
+// The controller must (a) actually chase (mode switches occur and both
+// flip targets win EPs somewhere), (b) not thrash — switches stay a
+// small fraction of total adaptive decisions, because hysteresis and the
+// incumbent margin damp the lag — and (c) never fall materially below
+// the uncompressed baseline. (Measured: AVF 77 switches / 1350
+// decisions, speedup 1.02; AVS 103/1515, 1.03.)
+func TestScenarioAdversarialBoundedLag(t *testing.T) {
+	s := fullMachine(t)
+	cases := []struct {
+		name      string
+		flipModes [2]modes.Mode // the two regimes the flip alternates between
+	}{
+		{"AVF", [2]modes.Mode{modes.LowLat, modes.None}},
+		{"AVS", [2]modes.Mode{modes.HighCap, modes.None}},
+	}
+	for _, tc := range cases {
+		r := s.MustRun(tc.name, LatteCC, Variant{})
+		var decisions uint64
+		for _, n := range r.ModeEPs {
+			decisions += n
+		}
+		if decisions == 0 || r.Switches == 0 {
+			t.Errorf("%s: switches=%d decisions=%d; the adversary should force some chasing", tc.name, r.Switches, decisions)
+			continue
+		}
+		for _, m := range tc.flipModes {
+			if r.ModeEPs[m] == 0 {
+				t.Errorf("%s: mode %v never wins an EP; both flip regimes should surface", tc.name, m)
+			}
+		}
+		if frac := float64(r.Switches) / float64(decisions); frac > 0.25 {
+			t.Errorf("%s: switch fraction %.3f > 0.25 — predictor thrashing, hysteresis not damping the flips", tc.name, frac)
+		}
+		spd, err := s.Speedup(tc.name, LatteCC, Variant{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spd < 0.95 {
+			t.Errorf("%s: LATTE-CC speedup %.3f < 0.95 — the adversary drives the controller below baseline", tc.name, spd)
+		}
+	}
+}
+
+// TestScenarioCategoriesStayCalibrated applies the Table III
+// classification criterion (C-Sens iff a 4x L1 yields >20% speedup) to
+// every new scenario, including the committed trace-corpus replays —
+// each scenario's declared category must survive measurement. (Measured
+// 4x speedups: MKS 2.78, MKM 1.80, AVF 4.88, AVS 3.20, DPS 1.33,
+// TSS 1.26 vs DPI 1.01, TBO 1.00.)
+func TestScenarioCategoriesStayCalibrated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine classification check")
+	}
+	if raceEnabled {
+		t.Skip("pure fidelity check, no concurrency; race overhead for nothing")
+	}
+	cfg := sim.DefaultConfig()
+	cfg4 := cfg
+	cfg4.Cache.SizeBytes *= 4
+	s, s4 := NewSuite(cfg), NewSuite(cfg4)
+	check := func(name string, wantSens bool, spd float64) {
+		t.Helper()
+		if wantSens && spd <= 1.2 {
+			t.Errorf("%s declared C-Sens but 4x-cache speedup is %.3f", name, spd)
+		}
+		if !wantSens && spd > 1.2 {
+			t.Errorf("%s declared C-InSens but 4x-cache speedup is %.3f", name, spd)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		sens bool
+	}{
+		{"MKS", true}, {"MKM", true}, {"AVF", true}, {"AVS", true}, {"DPS", true},
+		{"DPI", false},
+	} {
+		base := s.MustRun(tc.name, Uncompressed, Variant{})
+		big := s4.MustRun(tc.name, Uncompressed, Variant{})
+		check(tc.name, tc.sens, float64(base.Cycles)/float64(big.Cycles))
+	}
+	// Corpus replays run uncached through RunWorkload (no registry write,
+	// so this test cannot perturb the package's workload list).
+	ws, err := tracefile.LoadCorpus(filepath.Join("..", "..", "testdata", "traces"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		base, err := RunWorkload(cfg, w, Uncompressed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := RunWorkload(cfg4, w, Uncompressed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSens := w.Category().String() == "C-Sens"
+		check(w.Name(), wantSens, float64(base.Cycles)/float64(big.Cycles))
+	}
+}
+
+// TestScenarioDeterminismPins: every scenario class must produce
+// bit-identical StateHashes whether its runs execute serially or through
+// a 4-worker suite pool — the harness-level determinism contract the new
+// workloads ride on. Runs on a tiny machine (and under -race in CI,
+// where it doubles as the data-race gate over the scenario paths).
+func TestScenarioDeterminismPins(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.NumSMs = 2
+	cfg.MaxInstructions = raceScaled(60_000)
+	reqs := []RunRequest{
+		{Workload: "MKS", Policy: LatteCC},
+		{Workload: "MKS", Policy: KernelOpt},
+		{Workload: "MKM", Policy: LatteCC},
+		{Workload: "AVF", Policy: LatteCC},
+		{Workload: "AVS", Policy: StaticSC},
+		{Workload: "DPS", Policy: LatteCC},
+		{Workload: "DPI", Policy: StaticBDI},
+	}
+	hashes := make([][]uint64, 2)
+	for i, jobs := range []int{1, 4} {
+		s := NewSuite(cfg)
+		s.Jobs = jobs
+		s.Prefetch(reqs...)
+		if err := s.RunAll(); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for _, r := range reqs {
+			res, err := s.Run(r.Workload, r.Policy, r.Variant)
+			if err != nil {
+				t.Fatalf("jobs=%d %s/%s: %v", jobs, r.Workload, r.Policy, err)
+			}
+			hashes[i] = append(hashes[i], res.StateHash())
+		}
+	}
+	for k, r := range reqs {
+		if hashes[0][k] != hashes[1][k] {
+			t.Errorf("%s/%s: StateHash differs between -jobs 1 (%#x) and -jobs 4 (%#x)",
+				r.Workload, r.Policy, hashes[0][k], hashes[1][k])
+		}
+	}
+
+	// Corpus replays: double-run equality through the uncached custom
+	// path (RunWorkload), covering load→chunk→replay end to end.
+	ws, err := tracefile.LoadCorpus(filepath.Join("..", "..", "testdata", "traces"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Fatal("committed trace corpus is empty")
+	}
+	for _, w := range ws {
+		a, err := RunWorkload(cfg, w, LatteCC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunWorkload(cfg, w, LatteCC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.StateHash() != b.StateHash() {
+			t.Errorf("%s: repeated replay differs: %#x vs %#x", w.Name(), a.StateHash(), b.StateHash())
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"lattecc/internal/modes"
 	"lattecc/internal/policy"
 	"lattecc/internal/sim"
+	"lattecc/internal/trace"
+	"lattecc/internal/tracefile"
 	"lattecc/internal/workload"
 )
 
@@ -490,6 +492,158 @@ func DiffSMJobs(seed int64, runs int) *Divergence {
 	return nil
 }
 
+// DiffScenarios runs randomized scenario-diversity workloads — multi-
+// kernel sequences, concurrent-kernel mixes (KernelSpec.Mix), and
+// adversarial compressibility flips (Phase.FlipEvery) — through the
+// end-to-end simulator and checks the determinism contracts the scenario
+// engine extends: (a) serial vs SM-parallel StateHash parity over every
+// scenario class, (b) bit-identical trace capture across repeated runs,
+// and (c) capture→replay round trips where the packaged ReplayWorkload
+// is itself deterministic and SMJobs-invariant. Divergences carry the
+// seed and run index for replay.
+func DiffScenarios(seed int64, runs int) *Divergence {
+	styles := []workload.ValueStyle{
+		workload.StyleZeroHeavy, workload.StyleSmallInt, workload.StyleStrideInt,
+		workload.StylePointer, workload.StyleDictFloat, workload.StyleExpFloat,
+		workload.StyleRandom,
+	}
+	for run := 0; run < runs; run++ {
+		rng := rand.New(rand.NewSource(seed + int64(run)*104729))
+
+		cfg := sim.DefaultConfig()
+		cfg.NumSMs = 2 + rng.Intn(2)
+		cfg.MaxInstructions = uint64(12_000 + rng.Intn(12_000))
+		cfg.MaxCycles = 5_000_000
+
+		regions := []workload.Region{
+			{Start: 0, Lines: uint64(1024 + rng.Intn(2048)), Style: styles[rng.Intn(len(styles))], Seed: rng.Uint64()},
+			{Start: 1 << 16, Lines: uint64(1024 + rng.Intn(2048)), Style: styles[rng.Intn(len(styles))], Seed: rng.Uint64()},
+			{Start: 1 << 17, Lines: uint64(512 + rng.Intn(1024)), Style: styles[rng.Intn(len(styles))], Seed: rng.Uint64()},
+		}
+		// 1-3 kernels; each either a flat phase list (possibly with an
+		// adversarial flip) or a 2-program concurrent mix.
+		mkPhases := func() []workload.Phase {
+			ph := workload.Phase{
+				Kind: workload.PhaseReuse, Region: rng.Intn(len(regions)),
+				Iters: 60 + rng.Intn(120), ALU: rng.Intn(4), WSLines: 4 + rng.Intn(40),
+			}
+			if rng.Intn(2) == 0 {
+				ph.FlipEvery = 5 + rng.Intn(60)
+				ph.FlipRegion = rng.Intn(len(regions))
+			}
+			out := []workload.Phase{ph}
+			if rng.Intn(2) == 0 {
+				out = append(out, workload.Phase{
+					Kind: workload.PhaseStream, Region: rng.Intn(len(regions)), Iters: 20 + rng.Intn(40),
+				})
+			}
+			return out
+		}
+		var kernels []workload.KernelSpec
+		for ki, nk := 0, 1+rng.Intn(3); ki < nk; ki++ {
+			ks := workload.KernelSpec{
+				Name:   fmt.Sprintf("scn-k%d", ki),
+				Blocks: 3 + rng.Intn(5), WarpsPerBlock: 2 + rng.Intn(3),
+			}
+			if rng.Intn(3) == 0 {
+				ks.Mix = [][]workload.Phase{mkPhases(), mkPhases()}
+			} else {
+				ks.Phases = mkPhases()
+			}
+			kernels = append(kernels, ks)
+		}
+		spec := &workload.Spec{WName: "scenario-rand", Regions: regions, KernelSeq: kernels}
+
+		factories := []struct {
+			name string
+			f    sim.ControllerFactory
+		}{
+			{"static-none", func(int) modes.Controller { return policy.NewStatic(modes.None, "oracle-none", 1024, 8) }},
+			{"static-lowlat", func(int) modes.Controller { return policy.NewStatic(modes.LowLat, "oracle-lowlat", 1024, 8) }},
+			{"static-highcap", func(int) modes.Controller { return policy.NewStatic(modes.HighCap, "oracle-highcap", 1024, 8) }},
+			{"latte", func(n int) modes.Controller { return core.New(core.DefaultConfig(n)) }},
+			{"latte-kreset", func(n int) modes.Controller {
+				kc := core.DefaultConfig(n)
+				kc.KernelBoundaryReset = true
+				return core.New(kc)
+			}},
+		}
+		pick := factories[rng.Intn(len(factories))]
+
+		runHash := func(jobs int, wl trace.Workload) uint64 {
+			c := cfg
+			c.SMJobs = jobs
+			return sim.New(c, wl, pick.f).Run().StateHash()
+		}
+
+		// (a) Serial vs SM-parallel parity over the scenario spec.
+		base := runHash(1, spec)
+		for _, jobs := range []int{2, cfg.NumSMs} {
+			if got := runHash(jobs, spec); got != base {
+				return diverge("scenario", seed, run,
+					"StateHash(SMJobs=%d)=%#x != StateHash(SMJobs=1)=%#x (controller %s, %d kernels)",
+					jobs, got, base, pick.name, len(kernels))
+			}
+		}
+
+		// (b) Capture determinism: two serial recordings of the same run
+		// must be byte-identical.
+		captureOnce := func() (*bytes.Buffer, uint64, *Divergence) {
+			var buf bytes.Buffer
+			tw, err := tracefile.NewWriter(&buf, "SCN")
+			if err != nil {
+				return nil, 0, diverge("scenario", seed, run, "trace writer: %v", err)
+			}
+			c := cfg
+			c.Trace = tw
+			sim.New(c, spec, pick.f).Run()
+			if err := tw.Flush(); err != nil {
+				return nil, 0, diverge("scenario", seed, run, "trace flush: %v", err)
+			}
+			return &buf, tw.Count(), nil
+		}
+		buf1, count, d := captureOnce()
+		if d != nil {
+			return d
+		}
+		buf2, _, d := captureOnce()
+		if d != nil {
+			return d
+		}
+		if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+			return diverge("scenario", seed, run,
+				"repeated capture produced different bytes (%d vs %d, controller %s)",
+				buf1.Len(), buf2.Len(), pick.name)
+		}
+
+		// (c) Capture→replay round trip: package the recording as a corpus
+		// entry; the replay workload must load, be deterministic, and stay
+		// SMJobs-invariant.
+		meta, err := tracefile.EncodeCorpusMeta(tracefile.CorpusEntry{
+			Name: "SCN", Source: spec.WName, Category: spec.Category(),
+			Blocks: 2 + rng.Intn(3), WarpsPerBlock: 2,
+			ALUGapCap: uint32(rng.Intn(64)), Regions: regions,
+		}, buf1.Bytes(), count)
+		if err != nil {
+			return diverge("scenario", seed, run, "corpus meta: %v", err)
+		}
+		rw, err := tracefile.LoadWorkloadBytes(buf1.Bytes(), meta)
+		if err != nil {
+			return diverge("scenario", seed, run, "corpus load: %v", err)
+		}
+		rbase := runHash(1, rw)
+		if again := runHash(1, rw); again != rbase {
+			return diverge("scenario", seed, run,
+				"replay workload not deterministic: %#x vs %#x (controller %s)", again, rbase, pick.name)
+		}
+		if got := runHash(2, rw); got != rbase {
+			return diverge("scenario", seed, run,
+				"replay StateHash(SMJobs=2)=%#x != serial %#x (controller %s)", got, rbase, pick.name)
+		}
+	}
+	return nil
+}
+
 // DiffAll runs every differential suite at the given scale (number of
 // base iterations; each suite multiplies it to its natural unit). It
 // returns the first divergence found, or nil.
@@ -509,6 +663,9 @@ func DiffAll(seed int64, scale int) *Divergence {
 		return d
 	}
 	if d := DiffSMJobs(seed+2000, scale/8+1); d != nil {
+		return d
+	}
+	if d := DiffScenarios(seed+3000, scale/8+1); d != nil {
 		return d
 	}
 	return nil

@@ -39,6 +39,14 @@ func TestDiffSchedulersShortCorpus(t *testing.T) {
 	}
 }
 
+func TestDiffScenariosShortCorpus(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if d := DiffScenarios(seed, 2); d != nil {
+			t.Fatal(d)
+		}
+	}
+}
+
 func TestDiffAllShortCorpus(t *testing.T) {
 	if d := DiffAll(42, 8); d != nil {
 		t.Fatal(d)

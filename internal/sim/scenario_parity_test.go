@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"testing"
+
+	"lattecc/internal/workload"
+)
+
+// TestScenarioWorkloadsSMJobsParity extends the epoch-engine parity
+// contract to the scenario-diversity workload classes: a multi-kernel
+// sequence (MKS), a concurrent-kernel Mix (MKM), and an adversarial
+// mid-phase compressibility flip (AVF). Each must hash identically for
+// any SM worker count under the full adaptive controller — the flip and
+// Mix paths feed the per-SM pipelines differently from the flat suite,
+// so they get their own parity pin.
+func TestScenarioWorkloadsSMJobsParity(t *testing.T) {
+	withRealParallelism(t, 4)
+	for _, build := range []func() *workload.Spec{workload.MKS, workload.MKM, workload.AVF} {
+		spec := build()
+		t.Run(spec.Name(), func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.NumSMs = 4
+			cfg.MaxInstructions = 60_000
+			hashes := map[int]uint64{}
+			for _, jobs := range []int{1, 2, cfg.NumSMs} {
+				c := cfg
+				c.SMJobs = jobs
+				res := New(c, spec, latteFactory).Run()
+				if res.Instructions == 0 {
+					t.Fatalf("jobs=%d: empty run", jobs)
+				}
+				hashes[jobs] = res.StateHash()
+			}
+			for _, jobs := range []int{2, cfg.NumSMs} {
+				if hashes[jobs] != hashes[1] {
+					t.Errorf("StateHash(SMJobs=%d)=%#x != StateHash(SMJobs=1)=%#x",
+						jobs, hashes[jobs], hashes[1])
+				}
+			}
+		})
+	}
+}

@@ -49,10 +49,11 @@ type regionJSON struct {
 }
 
 type kernelJSON struct {
-	Name          string      `json:"name"`
-	Blocks        int         `json:"blocks"`
-	WarpsPerBlock int         `json:"warpsPerBlock"`
-	Phases        []phaseJSON `json:"phases"`
+	Name          string        `json:"name"`
+	Blocks        int           `json:"blocks"`
+	WarpsPerBlock int           `json:"warpsPerBlock"`
+	Phases        []phaseJSON   `json:"phases"`
+	Mix           [][]phaseJSON `json:"mix"`
 }
 
 type phaseJSON struct {
@@ -64,6 +65,8 @@ type phaseJSON struct {
 	WSLines    int    `json:"wsLines"`
 	Shared     bool   `json:"shared"`
 	Divergence int    `json:"divergence"`
+	FlipEvery  int    `json:"flipEvery"`
+	FlipRegion int    `json:"flipRegion"`
 }
 
 var styleNames = map[string]ValueStyle{
@@ -83,6 +86,35 @@ var kindNames = map[string]PhaseKind{
 	"compute": PhaseCompute,
 	"store":   PhaseStore,
 	"barrier": PhaseBarrier,
+}
+
+// ParseStyle resolves a JSON style name to its ValueStyle.
+func ParseStyle(name string) (ValueStyle, bool) {
+	s, ok := styleNames[name]
+	return s, ok
+}
+
+// StyleName returns the JSON name of a value style ("" if unknown) —
+// the inverse of ParseStyle, used by trace-corpus sidecar writers.
+func StyleName(s ValueStyle) string {
+	switch s {
+	case StyleZeroHeavy:
+		return "zero-heavy"
+	case StyleSmallInt:
+		return "small-int"
+	case StyleStrideInt:
+		return "stride-int"
+	case StylePointer:
+		return "pointer"
+	case StyleDictFloat:
+		return "dict-float"
+	case StyleExpFloat:
+		return "exp-float"
+	case StyleRandom:
+		return "random"
+	default:
+		return ""
+	}
 }
 
 // ParseSpec decodes a JSON workload definition and validates it.
@@ -125,35 +157,61 @@ func ParseSpec(data []byte) (*Spec, error) {
 		if kj.Blocks <= 0 || kj.WarpsPerBlock <= 0 {
 			return nil, fmt.Errorf("workload %s: kernel %d: need positive blocks and warpsPerBlock", sj.Name, ki)
 		}
-		if len(kj.Phases) == 0 {
-			return nil, fmt.Errorf("workload %s: kernel %d: no phases", sj.Name, ki)
+		if (len(kj.Phases) == 0) == (len(kj.Mix) == 0) {
+			return nil, fmt.Errorf("workload %s: kernel %d: exactly one of phases and mix must be set", sj.Name, ki)
 		}
 		ks := KernelSpec{Name: kj.Name, Blocks: kj.Blocks, WarpsPerBlock: kj.WarpsPerBlock}
 		if ks.Name == "" {
 			ks.Name = fmt.Sprintf("%s-k%d", sj.Name, ki)
 		}
-		for pi, pj := range kj.Phases {
-			kind, ok := kindNames[pj.Kind]
-			if !ok {
-				return nil, fmt.Errorf("workload %s: kernel %d phase %d: unknown kind %q", sj.Name, ki, pi, pj.Kind)
+		var err error
+		if ks.Phases, err = parsePhases(spec, sj.Name, ki, kj.Phases); err != nil {
+			return nil, err
+		}
+		for mi, mj := range kj.Mix {
+			if len(mj) == 0 {
+				return nil, fmt.Errorf("workload %s: kernel %d: mix program %d is empty", sj.Name, ki, mi)
 			}
-			if kind != PhaseCompute && kind != PhaseBarrier {
-				if pj.Region < 0 || pj.Region >= len(spec.Regions) {
-					return nil, fmt.Errorf("workload %s: kernel %d phase %d: region %d out of range", sj.Name, ki, pi, pj.Region)
-				}
+			ph, err := parsePhases(spec, sj.Name, ki, mj)
+			if err != nil {
+				return nil, err
 			}
-			if pj.Iters <= 0 {
-				return nil, fmt.Errorf("workload %s: kernel %d phase %d: need positive iters", sj.Name, ki, pi)
-			}
-			ks.Phases = append(ks.Phases, Phase{
-				Kind: kind, Region: pj.Region, Iters: pj.Iters, ALU: pj.ALU,
-				ALULat: pj.ALULat, WSLines: pj.WSLines, Shared: pj.Shared,
-				Divergence: pj.Divergence,
-			})
+			ks.Mix = append(ks.Mix, ph)
 		}
 		spec.KernelSeq = append(spec.KernelSeq, ks)
 	}
 	return spec, nil
+}
+
+// parsePhases validates and converts one phase list of a kernel.
+func parsePhases(spec *Spec, name string, ki int, phs []phaseJSON) ([]Phase, error) {
+	var out []Phase
+	for pi, pj := range phs {
+		kind, ok := kindNames[pj.Kind]
+		if !ok {
+			return nil, fmt.Errorf("workload %s: kernel %d phase %d: unknown kind %q", name, ki, pi, pj.Kind)
+		}
+		if kind != PhaseCompute && kind != PhaseBarrier {
+			if pj.Region < 0 || pj.Region >= len(spec.Regions) {
+				return nil, fmt.Errorf("workload %s: kernel %d phase %d: region %d out of range", name, ki, pi, pj.Region)
+			}
+		}
+		if pj.Iters <= 0 {
+			return nil, fmt.Errorf("workload %s: kernel %d phase %d: need positive iters", name, ki, pi)
+		}
+		if pj.FlipEvery < 0 {
+			return nil, fmt.Errorf("workload %s: kernel %d phase %d: negative flipEvery", name, ki, pi)
+		}
+		if pj.FlipEvery > 0 && (pj.FlipRegion < 0 || pj.FlipRegion >= len(spec.Regions)) {
+			return nil, fmt.Errorf("workload %s: kernel %d phase %d: flipRegion %d out of range", name, ki, pi, pj.FlipRegion)
+		}
+		out = append(out, Phase{
+			Kind: kind, Region: pj.Region, Iters: pj.Iters, ALU: pj.ALU,
+			ALULat: pj.ALULat, WSLines: pj.WSLines, Shared: pj.Shared,
+			Divergence: pj.Divergence, FlipEvery: pj.FlipEvery, FlipRegion: pj.FlipRegion,
+		})
+	}
+	return out, nil
 }
 
 // LoadSpecFile reads and parses a JSON workload definition from a file.

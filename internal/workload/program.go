@@ -46,6 +46,17 @@ type Phase struct {
 	// Divergence is the number of distinct lines per load (1 =
 	// coalesced, up to 32 = fully divergent).
 	Divergence int
+
+	// FlipEvery, when > 0, alternates the phase's target between Region
+	// and FlipRegion every FlipEvery iterations: iterations [0,FlipEvery)
+	// hit Region, [FlipEvery,2*FlipEvery) hit FlipRegion, and so on. With
+	// regions of different value styles this flips the access stream's
+	// compressibility mid-phase — the adversarial probe for predictor lag
+	// (a cadence shorter than an EP flips faster than the controller can
+	// re-decide). 0 disables flipping.
+	FlipEvery int
+	// FlipRegion is the alternate region index used by FlipEvery.
+	FlipRegion int
 }
 
 // program walks a warp through its phases lazily.
@@ -116,7 +127,11 @@ func (p *program) Next() (trace.Inst, bool) {
 
 // memInst builds the memory instruction for the current iteration.
 func (p *program) memInst(ph *Phase) trace.Inst {
-	r := p.regions[ph.Region]
+	reg := ph.Region
+	if ph.FlipEvery > 0 && (p.iter/ph.FlipEvery)%2 == 1 {
+		reg = ph.FlipRegion
+	}
+	r := p.regions[reg]
 	var lineOff uint64
 	i := uint64(p.iter)
 	switch ph.Kind {
@@ -169,12 +184,25 @@ type Spec struct {
 	KernelSeq []KernelSpec
 }
 
-// KernelSpec shapes one kernel launch.
+// KernelSpec shapes one kernel launch. Exactly one of Phases and Mix
+// must be set: Phases gives every block the same program, Mix models
+// concurrent kernels co-resident on the SMs by striping block programs —
+// block b runs Mix[b % len(Mix)], so programs with different
+// compressibility classes time-share each SM's L1 within one launch.
 type KernelSpec struct {
 	Name          string
 	Blocks        int
 	WarpsPerBlock int
 	Phases        []Phase
+	Mix           [][]Phase
+}
+
+// phasesFor returns the phase list block runs under this kernel spec.
+func (ks *KernelSpec) phasesFor(block int) []Phase {
+	if len(ks.Mix) > 0 {
+		return ks.Mix[block%len(ks.Mix)]
+	}
+	return ks.Phases
 }
 
 var _ trace.Workload = (*Spec)(nil)
@@ -197,6 +225,10 @@ func (s *Spec) Kernels() []trace.Kernel {
 	kernels := make([]trace.Kernel, 0, len(s.KernelSeq))
 	for _, ks := range s.KernelSeq {
 		ks := ks
+		if (len(ks.Phases) == 0) == (len(ks.Mix) == 0) {
+			//lint:allow panic-audit geometry validation: a kernel spec must set exactly one of Phases and Mix
+			panic(fmt.Sprintf("workload %s: kernel %s: exactly one of Phases and Mix must be set", s.WName, ks.Name))
+		}
 		kernels = append(kernels, trace.Kernel{
 			Name:          ks.Name,
 			Blocks:        ks.Blocks,
@@ -204,7 +236,7 @@ func (s *Spec) Kernels() []trace.Kernel {
 			Program: func(block, warp int) trace.Program {
 				return &program{
 					regions:  s.Regions,
-					phases:   ks.Phases,
+					phases:   ks.phasesFor(block),
 					block:    block,
 					warpGlob: uint64(block*ks.WarpsPerBlock + warp),
 				}

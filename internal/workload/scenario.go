@@ -1,0 +1,298 @@
+// Scenario-diversity workloads (ROADMAP "scenario diversity"): multi-
+// kernel sequences, concurrent-kernel mixes, adversarial phase-shifting
+// generators, and distribution-parameterized profiles. Unlike the Table
+// III reproductions these do not model specific paper benchmarks; they
+// exist to exercise controller behaviours the single-kernel suite cannot
+// reach — EP state across kernel boundaries (making Kernel-OPT
+// meaningful), intra-launch compressibility mixes, and predictor lag
+// under compressibility flips faster than the EP decision cadence.
+package workload
+
+import (
+	"fmt"
+
+	"lattecc/internal/trace"
+)
+
+// MKS is a multi-kernel compressibility shift: three kernels with
+// distinct value-locality classes run back to back on the same L1 —
+// dictionary floats (the high-capacity codec's case), strided integers
+// (the low-latency codec's case), then incompressible noise. The best
+// static mode changes at every kernel boundary, so a per-kernel oracle
+// (Kernel-OPT) beats any single static choice and the adaptive
+// controller must re-learn after each launch.
+func MKS() *Spec {
+	return &Spec{
+		WName: "MKS", Cat: trace.CSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 15, Style: StyleDictFloat, Seed: 0x3501, Dict: 112},
+			{Start: 1 << 16, Lines: 1 << 14, Style: StyleStrideInt, Seed: 0x3502},
+			{Start: 1 << 17, Lines: 1 << 14, Style: StyleRandom, Seed: 0x3503},
+		},
+		KernelSeq: []KernelSpec{
+			{
+				// Dictionary-value phase with deep ALU cover: tolerant, so the
+				// high-capacity mode's latency hides and its ratio wins.
+				Name: "mks-dict", Blocks: 30, WarpsPerBlock: 6,
+				Phases: []Phase{
+					{Kind: PhaseReuse, Region: 0, Iters: 1600, ALU: 5, WSLines: 20},
+				},
+			},
+			{
+				// Strided integers with back-to-back loads: only the cheap
+				// low-latency codec is affordable.
+				Name: "mks-stride", Blocks: 30, WarpsPerBlock: 6,
+				Phases: []Phase{
+					{Kind: PhaseReuse, Region: 1, Iters: 1600, ALU: 1, WSLines: 24},
+				},
+			},
+			{
+				// Incompressible noise: every compression mode is pure cost.
+				Name: "mks-noise", Blocks: 30, WarpsPerBlock: 6,
+				Phases: []Phase{
+					{Kind: PhaseReuse, Region: 2, Iters: 1200, ALU: 1, WSLines: 24},
+				},
+			},
+		},
+	}
+}
+
+// MKM is a concurrent-kernel mix: one launch whose blocks stripe two
+// programs (KernelSpec.Mix), modelling two kernels co-resident on every
+// SM. Half the blocks loop over dictionary floats with heavy arithmetic,
+// half over strided integers with none, so each L1 serves both value
+// classes and both tolerance regimes at once — no single-mode sample set
+// sees a clean signal.
+func MKM() *Spec {
+	return &Spec{
+		WName: "MKM", Cat: trace.CSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 15, Style: StyleDictFloat, Seed: 0x3504, Dict: 96},
+			{Start: 1 << 16, Lines: 1 << 14, Style: StyleStrideInt, Seed: 0x3505},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "mkm-pair", Blocks: 30, WarpsPerBlock: 6,
+			Mix: [][]Phase{
+				{{Kind: PhaseReuse, Region: 0, Iters: 2400, ALU: 6, WSLines: 18}},
+				{{Kind: PhaseReuse, Region: 1, Iters: 2400, ALU: 1, WSLines: 22}},
+			},
+		}},
+	}
+}
+
+// AVF is an adversarial phase-shifter against the low-latency codec: a
+// reuse loop whose target flips between BDI-friendly strided integers
+// and incompressible noise every 40 iterations — a cadence
+// incommensurate with the 256-access EP, so flips land mid-EP and the
+// sampled counters always mix both regimes (predictor-lag probe).
+func AVF() *Spec {
+	return &Spec{
+		WName: "AVF", Cat: trace.CSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 14, Style: StyleStrideInt, Seed: 0xA7F0},
+			{Start: 1 << 15, Lines: 1 << 14, Style: StyleRandom, Seed: 0xA7F1},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "avf-flip", Blocks: 30, WarpsPerBlock: 4,
+			Phases: []Phase{
+				{Kind: PhaseReuse, Region: 0, Iters: 4800, ALU: 1, WSLines: 24,
+					FlipEvery: 40, FlipRegion: 1},
+			},
+		}},
+	}
+}
+
+// AVS is the high-capacity-codec variant of AVF: dictionary floats
+// (trained into the code book each period) flipping to incompressible
+// noise every 28 iterations under enough arithmetic cover that the
+// high-capacity mode looks attractive whenever the compressible half is
+// being sampled.
+func AVS() *Spec {
+	return &Spec{
+		WName: "AVS", Cat: trace.CSens,
+		Regions: []Region{
+			{Start: 0, Lines: 1 << 15, Style: StyleDictFloat, Seed: 0xA750, Dict: 128},
+			{Start: 1 << 16, Lines: 1 << 14, Style: StyleRandom, Seed: 0xA751},
+		},
+		KernelSeq: []KernelSpec{{
+			Name: "avs-flip", Blocks: 30, WarpsPerBlock: 6,
+			Phases: []Phase{
+				{Kind: PhaseReuse, Region: 0, Iters: 3600, ALU: 5, WSLines: 20,
+					FlipEvery: 28, FlipRegion: 1},
+			},
+		}},
+	}
+}
+
+// StyleShare is one component of a Profile's value-style mix.
+type StyleShare struct {
+	Style ValueStyle
+	Pct   int    // share of the footprint, percent
+	Dict  uint32 // dictionary size for StyleDictFloat (0 = default)
+}
+
+// Profile is a distribution-parameterized workload description: instead
+// of hand-authored phases it carries the summary statistics a trace fit
+// would produce — footprint, value-style mix, access-kind shares,
+// arithmetic intensity, occupancy — and FromProfile expands them into a
+// Spec. This is the ServeGen-style path for opening new scenarios from
+// measured distributions rather than hand tuning.
+type Profile struct {
+	Name     string
+	Category trace.Category
+	// Styles partitions the footprint by value style; Pct must sum to 100.
+	Styles []StyleShare
+	// FootprintLines is the total data footprint in cache lines.
+	FootprintLines uint64
+	// HotLines is the per-warp working-set size of the reuse fraction.
+	HotLines int
+	// ReusePct/RandomPct split MemOps into reuse, random, and (remainder)
+	// streaming accesses.
+	ReusePct  int
+	RandomPct int
+	// MemOps is the number of memory operations per warp.
+	MemOps int
+	// ALUPerMem is the arithmetic instructions per memory operation — the
+	// latency-tolerance driver.
+	ALUPerMem int
+	// Divergence is the distinct lines per random access (0 = coalesced).
+	Divergence int
+	Blocks     int
+	WarpsPer   int
+	Seed       uint64
+}
+
+// FromProfile expands a Profile into a Spec. The footprint is split into
+// one region per style share; each region gets the profile's reuse,
+// stream, and random access shares so every style sees the full access
+// mix (the per-region iteration counts divide MemOps evenly).
+func FromProfile(p Profile) (*Spec, error) {
+	if p.Name == "" {
+		return nil, fmt.Errorf("workload: profile needs a name")
+	}
+	if len(p.Styles) == 0 {
+		return nil, fmt.Errorf("workload %s: profile needs at least one style share", p.Name)
+	}
+	pctSum := 0
+	for _, s := range p.Styles {
+		if s.Pct <= 0 {
+			return nil, fmt.Errorf("workload %s: style share must be positive", p.Name)
+		}
+		pctSum += s.Pct
+	}
+	if pctSum != 100 {
+		return nil, fmt.Errorf("workload %s: style shares sum to %d, want 100", p.Name, pctSum)
+	}
+	if p.FootprintLines == 0 || p.MemOps <= 0 || p.Blocks <= 0 || p.WarpsPer <= 0 {
+		return nil, fmt.Errorf("workload %s: need positive footprint, memOps, blocks, warpsPer", p.Name)
+	}
+	if p.ReusePct < 0 || p.RandomPct < 0 || p.ReusePct+p.RandomPct > 100 {
+		return nil, fmt.Errorf("workload %s: reuse%%+random%% must stay within [0,100]", p.Name)
+	}
+	spec := &Spec{WName: p.Name, Cat: p.Category}
+	start := uint64(0)
+	for i, s := range p.Styles {
+		lines := p.FootprintLines * uint64(s.Pct) / 100
+		if lines == 0 {
+			lines = 1
+		}
+		spec.Regions = append(spec.Regions, Region{
+			Start: start, Lines: lines, Style: s.Style,
+			Seed: p.Seed + uint64(i)*0x9E37, Dict: s.Dict,
+		})
+		// Leave a gap between regions so per-region address arithmetic can
+		// never bleed across style boundaries.
+		start += lines + 64
+	}
+	nr := len(spec.Regions)
+	reuse := p.MemOps * p.ReusePct / 100 / nr
+	random := p.MemOps * p.RandomPct / 100 / nr
+	stream := p.MemOps/nr - reuse - random
+	hot := p.HotLines
+	if hot <= 0 {
+		hot = 1
+	}
+	var phases []Phase
+	for ri := range spec.Regions {
+		if reuse > 0 {
+			phases = append(phases, Phase{
+				Kind: PhaseReuse, Region: ri, Iters: reuse,
+				ALU: p.ALUPerMem, WSLines: hot,
+			})
+		}
+		if stream > 0 {
+			phases = append(phases, Phase{
+				Kind: PhaseStream, Region: ri, Iters: stream, ALU: p.ALUPerMem,
+			})
+		}
+		if random > 0 {
+			phases = append(phases, Phase{
+				Kind: PhaseRandom, Region: ri, Iters: random,
+				ALU: p.ALUPerMem, Divergence: p.Divergence,
+			})
+		}
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload %s: profile expands to an empty program", p.Name)
+	}
+	spec.KernelSeq = []KernelSpec{{
+		Name: p.Name + "-main", Blocks: p.Blocks, WarpsPerBlock: p.WarpsPer, Phases: phases,
+	}}
+	return spec, nil
+}
+
+// mustProfile expands a registry-owned profile, panicking on error —
+// registry profiles are authored in this file, so failures are
+// programming mistakes caught by the registry tests.
+func mustProfile(p Profile) *Spec {
+	s, err := FromProfile(p)
+	if err != nil {
+		//lint:allow panic-audit registry profiles are compile-time constants; the registry test exercises every builder
+		panic(err)
+	}
+	return s
+}
+
+// DPS is a distribution-parameterized cache-sensitive workload: the
+// similarity-score class (dictionary-heavy values, reuse-dominated,
+// moderate arithmetic) expressed as fitted statistics instead of
+// hand-authored phases.
+func DPS() *Spec {
+	return mustProfile(Profile{
+		Name: "DPS", Category: trace.CSens,
+		Styles: []StyleShare{
+			{Style: StyleDictFloat, Pct: 70, Dict: 112},
+			{Style: StyleStrideInt, Pct: 30},
+		},
+		FootprintLines: 1 << 15,
+		HotLines:       18,
+		ReusePct:       82,
+		RandomPct:      4,
+		MemOps:         2000,
+		ALUPerMem:      3,
+		Blocks:         45, WarpsPer: 6,
+		Seed: 0xD150,
+	})
+}
+
+// DPI is the insensitive counterpart: a frontier-expansion class
+// (small-integer and strided data, random-dominated, tiny hot set) whose
+// misses no capacity can fix but whose high occupancy hides any latency.
+func DPI() *Spec {
+	return mustProfile(Profile{
+		Name: "DPI", Category: trace.CInSens,
+		Styles: []StyleShare{
+			{Style: StyleSmallInt, Pct: 50},
+			{Style: StyleStrideInt, Pct: 50},
+		},
+		FootprintLines: 1 << 15,
+		HotLines:       2,
+		ReusePct:       10,
+		RandomPct:      60,
+		MemOps:         480,
+		ALUPerMem:      1,
+		Divergence:     2,
+		Blocks:         60, WarpsPer: 8,
+		Seed: 0xD151,
+	})
+}

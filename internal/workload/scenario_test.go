@@ -1,0 +1,328 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"lattecc/internal/trace"
+)
+
+// scenarioTestRegions puts each region in a disjoint address range so a
+// memory instruction's region is recoverable from its address.
+func scenarioTestRegions() []Region {
+	return []Region{
+		{Start: 0, Lines: 64, Style: StyleStrideInt, Seed: 1},
+		{Start: 1 << 12, Lines: 64, Style: StyleRandom, Seed: 2},
+		{Start: 1 << 13, Lines: 64, Style: StyleDictFloat, Seed: 3, Dict: 64},
+	}
+}
+
+// regionOf classifies a byte address against scenarioTestRegions.
+func regionOf(t *testing.T, addr uint64) int {
+	t.Helper()
+	for i, r := range scenarioTestRegions() {
+		if addr >= r.Start*LineSize && addr < (r.Start+r.Lines)*LineSize {
+			return i
+		}
+	}
+	t.Fatalf("address %#x outside every region", addr)
+	return -1
+}
+
+// drainMemRegions runs a program to completion and returns the region of
+// every memory instruction in order.
+func drainMemRegions(t *testing.T, p trace.Program) []int {
+	t.Helper()
+	var out []int
+	for i := 0; i < 1_000_000; i++ {
+		inst, ok := p.Next()
+		if !ok {
+			return out
+		}
+		if inst.Op == trace.OpLoad || inst.Op == trace.OpStore {
+			out = append(out, regionOf(t, inst.Addrs[0]))
+		}
+	}
+	t.Fatal("program did not terminate")
+	return nil
+}
+
+// TestFlipCadenceAlternation pins the FlipEvery semantics: iteration
+// windows [0,F) target Region, [F,2F) target FlipRegion, and so on, for
+// the program's whole life.
+func TestFlipCadenceAlternation(t *testing.T) {
+	const flipEvery = 4
+	p := &program{
+		regions: scenarioTestRegions(),
+		phases: []Phase{{
+			Kind: PhaseStream, Region: 0, Iters: 32,
+			FlipEvery: flipEvery, FlipRegion: 1,
+		}},
+	}
+	regions := drainMemRegions(t, p)
+	if len(regions) != 32 {
+		t.Fatalf("expected 32 memory ops, got %d", len(regions))
+	}
+	for i, got := range regions {
+		want := 0
+		if (i/flipEvery)%2 == 1 {
+			want = 1
+		}
+		if got != want {
+			t.Errorf("iteration %d: targeted region %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestMixBlockStriping pins the concurrent-kernel semantics: block b of a
+// Mix kernel runs Mix[b % len(Mix)].
+func TestMixBlockStriping(t *testing.T) {
+	spec := &Spec{
+		WName: "mix-test", Cat: trace.CSens, Regions: scenarioTestRegions(),
+		KernelSeq: []KernelSpec{{
+			Name: "pair", Blocks: 5, WarpsPerBlock: 2,
+			Mix: [][]Phase{
+				{{Kind: PhaseStream, Region: 0, Iters: 8}},
+				{{Kind: PhaseStream, Region: 2, Iters: 8}},
+			},
+		}},
+	}
+	ks := spec.Kernels()
+	if len(ks) != 1 {
+		t.Fatalf("expected 1 kernel, got %d", len(ks))
+	}
+	for block := 0; block < 5; block++ {
+		want := 0
+		if block%2 == 1 {
+			want = 2
+		}
+		for warp := 0; warp < 2; warp++ {
+			regions := drainMemRegions(t, ks[0].Program(block, warp))
+			if len(regions) == 0 {
+				t.Fatalf("block %d warp %d emitted no memory ops", block, warp)
+			}
+			for i, got := range regions {
+				if got != want {
+					t.Fatalf("block %d warp %d op %d: region %d, want %d (Mix striping broken)",
+						block, warp, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelSpecExactlyOneProgramSource: a kernel with both Phases and
+// Mix (or neither) is a programming mistake and must panic loudly.
+func TestKernelSpecExactlyOneProgramSource(t *testing.T) {
+	mustPanic := func(name string, ks KernelSpec) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Kernels() did not panic", name)
+			}
+		}()
+		(&Spec{WName: "bad", Regions: scenarioTestRegions(), KernelSeq: []KernelSpec{ks}}).Kernels()
+	}
+	mustPanic("neither", KernelSpec{Name: "k", Blocks: 1, WarpsPerBlock: 1})
+	mustPanic("both", KernelSpec{
+		Name: "k", Blocks: 1, WarpsPerBlock: 1,
+		Phases: []Phase{{Kind: PhaseStream, Region: 0, Iters: 1}},
+		Mix:    [][]Phase{{{Kind: PhaseStream, Region: 0, Iters: 1}}},
+	})
+}
+
+// TestFromProfileValidation sweeps the rejection surface of the
+// distribution-parameterized path.
+func TestFromProfileValidation(t *testing.T) {
+	valid := func() Profile {
+		return Profile{
+			Name: "p", Category: trace.CSens,
+			Styles:         []StyleShare{{Style: StyleStrideInt, Pct: 100}},
+			FootprintLines: 1024, HotLines: 4,
+			ReusePct: 50, RandomPct: 10,
+			MemOps: 100, ALUPerMem: 1, Blocks: 2, WarpsPer: 2,
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Profile)
+		wantErr string
+	}{
+		{"empty-name", func(p *Profile) { p.Name = "" }, "needs a name"},
+		{"no-styles", func(p *Profile) { p.Styles = nil }, "style share"},
+		{"zero-pct", func(p *Profile) { p.Styles[0].Pct = 0 }, "positive"},
+		{"pct-sum", func(p *Profile) { p.Styles[0].Pct = 99 }, "sum to 99"},
+		{"zero-footprint", func(p *Profile) { p.FootprintLines = 0 }, "positive footprint"},
+		{"zero-memops", func(p *Profile) { p.MemOps = 0 }, "positive footprint"},
+		{"zero-blocks", func(p *Profile) { p.Blocks = 0 }, "positive footprint"},
+		{"neg-reuse", func(p *Profile) { p.ReusePct = -1 }, "within [0,100]"},
+		{"over-100", func(p *Profile) { p.ReusePct = 60; p.RandomPct = 50 }, "within [0,100]"},
+	}
+	for _, tc := range cases {
+		p := valid()
+		tc.mutate(&p)
+		if _, err := FromProfile(p); err == nil {
+			t.Errorf("%s: FromProfile accepted an invalid profile", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+	if _, err := FromProfile(valid()); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+}
+
+// TestFromProfileExpansion checks the structural promises of a profile
+// expansion: one region per style share, disjoint region ranges, every
+// region receiving the full access-kind mix, and runnable programs.
+func TestFromProfileExpansion(t *testing.T) {
+	spec, err := FromProfile(Profile{
+		Name: "exp", Category: trace.CSens,
+		Styles: []StyleShare{
+			{Style: StyleDictFloat, Pct: 60, Dict: 80},
+			{Style: StyleRandom, Pct: 40},
+		},
+		FootprintLines: 2000, HotLines: 6,
+		ReusePct: 50, RandomPct: 20,
+		MemOps: 300, ALUPerMem: 2, Divergence: 2,
+		Blocks: 3, WarpsPer: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Regions) != 2 {
+		t.Fatalf("expected 2 regions, got %d", len(spec.Regions))
+	}
+	if spec.Regions[0].Lines != 1200 || spec.Regions[1].Lines != 800 {
+		t.Errorf("region sizes %d/%d, want 1200/800 (60/40 split of 2000)",
+			spec.Regions[0].Lines, spec.Regions[1].Lines)
+	}
+	if end0 := spec.Regions[0].Start + spec.Regions[0].Lines; spec.Regions[1].Start <= end0 {
+		t.Errorf("regions overlap or touch: region 0 ends at line %d, region 1 starts at %d",
+			end0, spec.Regions[1].Start)
+	}
+	kinds := map[PhaseKind]int{}
+	for _, ph := range spec.KernelSeq[0].Phases {
+		kinds[ph.Kind]++
+	}
+	for _, k := range []PhaseKind{PhaseReuse, PhaseStream, PhaseRandom} {
+		if kinds[k] != 2 {
+			t.Errorf("phase kind %d appears %d times, want once per region", k, kinds[k])
+		}
+	}
+	// The expansion must produce runnable programs over valid addresses.
+	for _, k := range spec.Kernels() {
+		k.Validate()
+		p := k.Program(0, 0)
+		n := 0
+		for {
+			inst, ok := p.Next()
+			if !ok {
+				break
+			}
+			n++
+			if inst.Op == trace.OpLoad || inst.Op == trace.OpStore {
+				addr := inst.Addrs[0] / LineSize
+				in := false
+				for _, r := range spec.Regions {
+					if addr >= r.Start && addr < r.Start+r.Lines {
+						in = true
+						break
+					}
+				}
+				if !in {
+					t.Fatalf("memory op to line %#x outside every region", addr)
+				}
+			}
+			if n > 10_000 {
+				t.Fatal("program too long for the profile's MemOps")
+			}
+		}
+		if n == 0 {
+			t.Fatal("profile expanded to an empty program")
+		}
+	}
+}
+
+// fakeExternal is a minimal trace.Workload for registry tests.
+type fakeExternal struct {
+	name string
+	cat  trace.Category
+}
+
+func (f fakeExternal) Name() string             { return f.name }
+func (f fakeExternal) Category() trace.Category { return f.cat }
+func (f fakeExternal) Data() trace.DataSource   { return NewData(nil) }
+func (f fakeExternal) Kernels() []trace.Kernel  { return nil }
+
+// swapExternal snapshots the external registry and restores it on
+// cleanup, so registry tests cannot leak workloads into other tests in
+// this package (the registry contract is startup-only registration; tests
+// in-package may reach underneath it serially).
+func swapExternal(t *testing.T) {
+	t.Helper()
+	saved := external
+	external = map[string]trace.Workload{}
+	t.Cleanup(func() { external = saved })
+}
+
+func TestRegisterExternalValidation(t *testing.T) {
+	swapExternal(t)
+	if err := RegisterExternal(nil); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if err := RegisterExternal(fakeExternal{name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := RegisterExternal(fakeExternal{name: "SS"}); err == nil || !strings.Contains(err.Error(), "built-in") {
+		t.Errorf("built-in collision not rejected: %v", err)
+	}
+	if err := RegisterExternal(fakeExternal{name: "ZX1", cat: trace.CSens}); err != nil {
+		t.Fatalf("first registration failed: %v", err)
+	}
+	if err := RegisterExternal(fakeExternal{name: "ZX1"}); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate not rejected: %v", err)
+	}
+}
+
+func TestRegisterExternalOrdering(t *testing.T) {
+	swapExternal(t)
+	base := Names()
+	for _, f := range []fakeExternal{
+		{name: "ZSE", cat: trace.CSens},
+		{name: "ZIN", cat: trace.CInSens},
+	} {
+		if err := RegisterExternal(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := Names()
+	if len(got) != len(base)+2 {
+		t.Fatalf("Names() has %d entries, want %d", len(got), len(base)+2)
+	}
+	// Grouping invariant: all C-InSens names precede all C-Sens names, and
+	// each group stays sorted with externals interleaved alphabetically.
+	split := -1
+	for i, n := range got {
+		w, err := ByName(n)
+		if err != nil {
+			t.Fatalf("Names() entry %q not resolvable: %v", n, err)
+		}
+		if w.Category() == trace.CSens && split == -1 {
+			split = i
+		}
+		if w.Category() == trace.CInSens && split != -1 {
+			t.Fatalf("C-InSens workload %q after the C-Sens group started", n)
+		}
+	}
+	for _, grp := range [][]string{got[:split], got[split:]} {
+		for i := 1; i < len(grp); i++ {
+			if grp[i-1] >= grp[i] {
+				t.Fatalf("group not sorted: %q before %q", grp[i-1], grp[i])
+			}
+		}
+	}
+	if w, err := ByName("ZSE"); err != nil || w.Name() != "ZSE" {
+		t.Fatalf("ByName(ZSE) = %v, %v", w, err)
+	}
+}

@@ -35,6 +35,56 @@ var builders = map[string]func() *Spec{
 	"PRK": PRK,
 	"DJK": DJK,
 	"MIS": MIS,
+	// Scenario-diversity workloads (scenario.go): multi-kernel,
+	// concurrent-mix, adversarial phase-shifting, profile-derived.
+	"MKS": MKS,
+	"MKM": MKM,
+	"AVF": AVF,
+	"AVS": AVS,
+	"DPS": DPS,
+	"DPI": DPI,
+}
+
+// external holds workloads registered at process startup — trace-corpus
+// replays and embedder-supplied workloads. It is a plain map with no
+// lock on purpose: internal/workload sits below the determinism boundary
+// where sync imports are banned, so the registration contract is
+// startup-only. RegisterExternal must only be called before any
+// concurrent use of Names/ByName/All (in practice: from main() or
+// TestMain before Suites, pools, or the daemon are constructed). The
+// cmd wiring honours this by loading -trace-dir first thing.
+var external = map[string]trace.Workload{}
+
+// RegisterExternal adds a workload to the registry under its own name.
+// See the external map's contract: startup-only, before concurrent use.
+func RegisterExternal(w trace.Workload) error {
+	if w == nil {
+		return fmt.Errorf("workload: register: nil workload")
+	}
+	name := w.Name()
+	if name == "" {
+		return fmt.Errorf("workload: register: empty name")
+	}
+	if _, ok := builders[name]; ok {
+		return fmt.Errorf("workload: register: %q collides with a built-in workload", name)
+	}
+	if _, ok := external[name]; ok {
+		return fmt.Errorf("workload: register: %q already registered", name)
+	}
+	external[name] = w
+	return nil
+}
+
+// externalNames returns the registered external names in sorted order
+// (same determinism rationale as builderNames).
+func externalNames() []string {
+	names := make([]string, 0, len(external))
+	//lint:allow determinism keys are sorted before use
+	for name := range external {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // builderNames returns the registry's keys in sorted order. Every
@@ -55,23 +105,33 @@ func builderNames() []string {
 // order the paper's figures use (insensitive group then sensitive group).
 func Names() []string {
 	var ins, sens []string
-	for _, name := range builderNames() {
-		if builders[name]().Category() == trace.CSens {
+	add := func(name string, cat trace.Category) {
+		if cat == trace.CSens {
 			sens = append(sens, name)
 		} else {
 			ins = append(ins, name)
 		}
 	}
+	for _, name := range builderNames() {
+		add(name, builders[name]().Category())
+	}
+	for _, name := range externalNames() {
+		add(name, external[name].Category())
+	}
+	sort.Strings(ins)
+	sort.Strings(sens)
 	return append(ins, sens...)
 }
 
 // ByName builds the named workload.
 func ByName(name string) (trace.Workload, error) {
-	b, ok := builders[name]
-	if !ok {
-		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	if b, ok := builders[name]; ok {
+		return b(), nil
 	}
-	return b(), nil
+	if w, ok := external[name]; ok {
+		return w, nil
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
 }
 
 // All builds every workload in Names() order.

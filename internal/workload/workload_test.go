@@ -11,8 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 22 {
-		t.Fatalf("suite has %d workloads, want 22: %v", len(names), names)
+	if len(names) != 28 {
+		t.Fatalf("suite has %d workloads, want 28: %v", len(names), names)
 	}
 	seen := map[string]bool{}
 	for _, n := range names {
@@ -38,8 +38,8 @@ func TestRegistryComplete(t *testing.T) {
 
 func TestCategorySplit(t *testing.T) {
 	sens, insens := CSens(), CInSens()
-	if len(sens) != 10 || len(insens) != 12 {
-		t.Fatalf("split %d C-Sens / %d C-InSens, want 10/12", len(sens), len(insens))
+	if len(sens) != 15 || len(insens) != 13 {
+		t.Fatalf("split %d C-Sens / %d C-InSens, want 15/13", len(sens), len(insens))
 	}
 	for _, w := range sens {
 		if w.Category() != trace.CSens {

@@ -202,3 +202,15 @@ func NewTraceWriter(w io.Writer, workloadName string) (*TraceWriter, error) {
 
 // NewTraceReader opens a recorded trace.
 func NewTraceReader(r io.Reader) (*TraceReader, error) { return tracefile.NewReader(r) }
+
+// RegisterWorkload adds a workload to the global registry so it shows up
+// in Workloads(), Run, the experiment suite, and the daemon. Startup-only:
+// call it before any concurrent use of the registry (see
+// workload.RegisterExternal).
+func RegisterWorkload(w Workload) error { return workload.RegisterExternal(w) }
+
+// LoadTraceCorpus registers every trace-replay workload found in dir
+// (pairs of <NAME>.lct + <NAME>.json, see tracefile.LoadCorpus). It
+// returns the registered names in registration order. Startup-only, like
+// RegisterWorkload.
+func LoadTraceCorpus(dir string) ([]string, error) { return tracefile.RegisterCorpus(dir) }

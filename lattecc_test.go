@@ -24,7 +24,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 
 func TestPublicAPIWorkloadList(t *testing.T) {
 	names := lattecc.Workloads()
-	if len(names) != 22 {
+	if len(names) != 28 {
 		t.Fatalf("suite has %d workloads", len(names))
 	}
 	w, err := lattecc.WorkloadByName("SS")
